@@ -1,0 +1,124 @@
+"""Ablations beyond the paper: the design choices DESIGN.md calls out.
+
+Three studies the paper motivates but does not quantify:
+
+1. **NoC choice (mesh vs torus)** — Section III-A leaves "the most
+   appropriate NoC" as future work.  The torus roughly halves column hop
+   distances; does it buy end-to-end performance once the row-oriented
+   mapping has already made the mesh a non-bottleneck?
+2. **Link width** — how wide must mesh links be before the NoC stops
+   limiting the row-oriented design?
+3. **SOM's aggregation handicap** — how much of ROM's win comes from
+   better aggregation opportunity (same-column funnelling) vs shorter
+   routes?
+"""
+
+from conftest import emit
+
+from repro.algorithms import PageRank, run_reference
+from repro.core import ScalaGraph, ScalaGraphConfig, TimingParams
+from repro.experiments import format_table, geometric_mean
+from repro.graph.datasets import load_dataset
+
+GRAPHS = ("PK", "OR", "TW")
+MAX_ITERS = 5
+
+
+def run_ablations():
+    torus_rows, width_rows, som_rows = [], [], []
+    for name in GRAPHS:
+        graph = load_dataset(name)
+        reference = run_reference(PageRank(), graph, max_iterations=MAX_ITERS)
+
+        def run(**kwargs):
+            timing_kwargs = kwargs.pop("timing", {})
+            cfg = ScalaGraphConfig(
+                timing=TimingParams(**timing_kwargs), **kwargs
+            )
+            return ScalaGraph(cfg).run(PageRank(), graph, reference=reference)
+
+        # 1. Mesh vs torus under ROM.
+        mesh = run(mapping="rom")
+        torus = run(mapping="rom-torus")
+        torus_rows.append(
+            [
+                name,
+                mesh.gteps,
+                torus.gteps,
+                f"{1 - torus.total_noc_hops / mesh.total_noc_hops:.1%}",
+                torus.gteps / mesh.gteps,
+            ]
+        )
+
+        # 2. Link-width sweep.
+        widths = {}
+        for width in (1, 2, 4, 8, 16):
+            widths[width] = run(
+                timing={"noc_link_updates_per_cycle": float(width)}
+            ).gteps
+        width_rows.append([name] + [widths[w] for w in (1, 2, 4, 8, 16)])
+
+        # 3. ROM vs SOM with aggregation disabled for both: the routing
+        # geometry's contribution alone.
+        rom_noagg = run(mapping="rom", aggregation_registers=0)
+        som_noagg = run(mapping="som", aggregation_registers=0)
+        rom_agg = run(mapping="rom")
+        som_agg = run(mapping="som")
+        som_rows.append(
+            [
+                name,
+                som_noagg.total_cycles / rom_noagg.total_cycles,
+                som_agg.total_cycles / rom_agg.total_cycles,
+            ]
+        )
+    return torus_rows, width_rows, som_rows
+
+
+def test_ablation_design_choices(benchmark):
+    torus_rows, width_rows, som_rows = benchmark.pedantic(
+        run_ablations, rounds=1, iterations=1
+    )
+
+    text = format_table(
+        ["Graph", "mesh GTEPS", "torus GTEPS", "hop cut", "speedup"],
+        torus_rows,
+        title="Ablation 1: mesh vs torus under the row-oriented mapping",
+    )
+    text += (
+        "\n-> The torus cuts hops but buys almost nothing end-to-end: the "
+        "row-oriented mapping already\n   keeps the mesh off the critical "
+        "path, validating the paper's low-cost NoC choice."
+    )
+    text += "\n\n" + format_table(
+        ["Graph", "w=1", "w=2", "w=4", "w=8", "w=16"],
+        width_rows,
+        title="Ablation 2: GTEPS vs mesh link width (updates/cycle)",
+    )
+    text += "\n\n" + format_table(
+        ["Graph", "ROM/SOM speedup (no aggregation)", "ROM/SOM (with)"],
+        som_rows,
+        title="Ablation 3: how much of ROM's win is routing geometry",
+    )
+    text += (
+        "\n-> ROM's advantage mostly materialises *together with* the "
+        "aggregation pipeline: without it both\n   mappings drown in "
+        "un-coalesced traffic. The two mechanisms are a genuine co-design "
+        "(Section IV)."
+    )
+    emit("ablation_design", text)
+
+    for row in torus_rows:
+        # Torus cuts hops...
+        assert float(row[3].rstrip("%")) > 10
+        # ...but gains under 10% end-to-end (mesh already sufficient).
+        assert row[4] < 1.10
+    for row in width_rows:
+        values = row[1:]
+        assert values == sorted(values)  # wider never slower
+        # Diminishing returns: 8 -> 16 gains <5%.
+        assert values[4] / values[3] < 1.05
+    for row in som_rows:
+        # ROM never loses; its headline win needs aggregation alongside.
+        assert row[1] >= 0.95
+        assert row[2] > row[1]
+        assert row[2] > 1.3

@@ -1,0 +1,96 @@
+"""Figure 4: the crossbar's effect on frequency and performance.
+
+The paper prototypes AccuGraph and GraphDynS (with a 4 MB scratchpad) on
+the U280, runs one PageRank iteration on the Table I graphs, and scales
+4 -> 512 PEs.  With the crossbar, frequency collapses beyond 64 PEs and
+synthesis fails at 256+; without it, ~300 MHz holds and scaling is
+near-linear.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.algorithms import PageRank, run_reference
+from repro.baselines import AccuGraph, GraphDynS
+from repro.errors import SynthesisError
+from repro.experiments import format_series, geometric_mean
+from repro.graph.datasets import load_dataset
+from repro.models.frequency import max_frequency_mhz, synthesizes
+
+PE_COUNTS = (4, 8, 16, 32, 64, 128, 256, 512)
+GRAPHS = ("FL", "PK", "LJ", "OR")  # Table I
+BUILDERS = {
+    "AccuGraph": AccuGraph.with_pes,
+    "GraphDynS": GraphDynS.with_pes,
+}
+
+
+def run_sweep():
+    """Normalised single-iteration PageRank performance per PE count."""
+    references = {}
+    for name in GRAPHS:
+        graph = load_dataset(name)
+        references[name] = (graph, run_reference(PageRank(), graph, max_iterations=1))
+
+    frequency = {}
+    performance = {}
+    for accel, builder in BUILDERS.items():
+        for crossbar in (True, False):
+            label = f"{accel}" + ("" if crossbar else " w/o crossbar")
+            freq_curve, perf_curve = {}, {}
+            for pes in PE_COUNTS:
+                if crossbar and not synthesizes("crossbar", pes):
+                    continue  # route failure: the missing bars
+                model = builder(pes, with_crossbar=crossbar)
+                freq_curve[pes] = model.config.clock_mhz
+                gteps = geometric_mean(
+                    [
+                        model.run(PageRank(), g, reference=r).gteps
+                        for g, r in references.values()
+                    ]
+                )
+                perf_curve[pes] = gteps
+            baseline = perf_curve[4]
+            frequency[label] = freq_curve
+            performance[label] = {
+                k: v / baseline for k, v in perf_curve.items()
+            }
+    return frequency, performance
+
+
+def test_figure4_crossbar_effect(benchmark):
+    frequency, performance = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    text = format_series(
+        frequency,
+        x_label="PEs",
+        title="Figure 4(a): maximal frequency (MHz); missing = route failure",
+        float_fmt="{:.0f}",
+    )
+    text += "\n\n" + format_series(
+        performance,
+        x_label="PEs",
+        title="Figure 4(b): PageRank performance normalised to 4 PEs",
+    )
+    emit("fig04_crossbar_effect", text)
+
+    # Shape assertions mirroring the paper's claims.
+    for accel in BUILDERS:
+        with_xbar = frequency[accel]
+        without = frequency[f"{accel} w/o crossbar"]
+        # (1) Frequency collapses past 64 PEs with the crossbar...
+        assert with_xbar[128] < with_xbar[64] < with_xbar[32]
+        assert with_xbar[128] <= 150
+        # ...(2) while the crossbar-free variant holds 300 MHz.
+        assert all(f == 300.0 for f in without.values())
+        # (3) Route failure beyond 128 PEs: no crossbar entries exist.
+        assert 256 not in with_xbar and 512 not in with_xbar
+        with pytest.raises(SynthesisError):
+            max_frequency_mhz("crossbar", 256)
+        # (4) 4 -> 64 PEs scales well (paper: 10-12x of the ideal 16x)...
+        perf = performance[accel]
+        assert perf[64] > 7.0
+        # ...but 64 -> 128 stalls or regresses (frequency collapse).
+        assert perf[128] < 1.5 * perf[64]
+        # (5) Crossbar-free scaling stays near-linear through 512 PEs.
+        assert performance[f"{accel} w/o crossbar"][512] > 50.0

@@ -1,0 +1,101 @@
+"""Figure 6: overheads of naively applying a mesh NoC.
+
+The paper motivates its co-designs by showing that a straightforward
+16x16-mesh port of a graph accelerator — source-oriented mapping, no
+aggregation, narrow (one-update-per-cycle) links, no degree-aware
+scheduling — loses 6.9x to increased on-chip communications, and load
+imbalance degrades execution a further 1.74x, running PageRank.
+
+Decomposition here:
+
+* *communication overhead* — slowdown of the naive mesh with balanced
+  scheduling relative to an ideal communication-free machine;
+* *imbalance overhead* — the busiest PE's edge load over the mean
+  (power-law vertices concentrate work on few PEs);
+* *total* — the full naive configuration against the ideal.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.algorithms import PageRank, run_reference
+from repro.core import ScalaGraph, ScalaGraphConfig, TimingParams
+from repro.experiments import format_table, geometric_mean
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+
+#: Narrow links: the naive port spends no area on wide channels.
+NAIVE_TIMING = TimingParams(noc_link_updates_per_cycle=1.0)
+
+
+def _naive_config(window: int) -> ScalaGraphConfig:
+    return ScalaGraphConfig(
+        num_tiles=1,
+        pe_cols=16,
+        mapping="som",
+        aggregation_registers=0,
+        degree_aware_window=window,
+        inter_phase_pipelining=False,
+        timing=NAIVE_TIMING,
+    )
+
+
+def run_decomposition():
+    rows = []
+    comm_factors, imbalance_factors = [], []
+    for name in DATASET_ORDER:
+        graph = load_dataset(name)
+        reference = run_reference(PageRank(), graph, max_iterations=5)
+        edges = reference.total_edges_traversed
+        num_pes = 256
+        ideal_cycles = edges / num_pes
+
+        balanced = ScalaGraph(_naive_config(window=16)).run(
+            PageRank(), graph, reference=reference
+        )
+        naive = ScalaGraph(_naive_config(window=1)).run(
+            PageRank(), graph, reference=reference
+        )
+
+        comm = balanced.total_cycles / ideal_cycles
+        # Workload imbalance: the busiest PE's per-iteration edge load
+        # over the mean, under the source-oriented home placement.
+        loads = np.bincount(
+            graph.edge_sources() % num_pes, minlength=num_pes
+        )
+        imbalance = float(loads.max() / loads.mean())
+        comm_factors.append(comm)
+        imbalance_factors.append(imbalance)
+        rows.append([name, comm, imbalance, naive.total_cycles / ideal_cycles])
+    rows.append(
+        [
+            "gmean",
+            geometric_mean(comm_factors),
+            geometric_mean(imbalance_factors),
+            geometric_mean([r[3] for r in rows]),
+        ]
+    )
+    return rows
+
+
+def test_figure6_mesh_overheads(benchmark):
+    rows = benchmark.pedantic(run_decomposition, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "Graph",
+            "comm overhead (paper ~6.9x)",
+            "imbalance (paper ~1.74x)",
+            "total naive vs ideal",
+        ],
+        rows,
+        title="Figure 6: naive 16x16 mesh overheads on PageRank",
+    )
+    emit("fig06_mesh_overheads", text)
+
+    gmean_row = rows[-1]
+    # Shape: communications dominate (several x), imbalance adds a
+    # smaller but real factor — matching the paper's 6.9x vs 1.74x split.
+    assert gmean_row[1] > 2.5
+    assert gmean_row[2] > 1.2
+    assert gmean_row[1] > gmean_row[2]
+    # The full naive port is far from the ideal machine.
+    assert gmean_row[3] > 3.0

@@ -1,0 +1,65 @@
+"""Figure 8: frequency of different NoCs vs the number of PEs.
+
+Compares the crossbar (O(N^2)), Benes (O(N log N)), a multi-stage
+crossbar (several PEs multiplexed per port), and the 2D mesh (O(N)).
+Only the mesh supports 1,024+ PEs with negligible frequency loss.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_series
+from repro.models.frequency import (
+    Interconnect,
+    max_frequency_mhz,
+    synthesizes,
+)
+from repro.noc.benes import BenesNetwork
+
+PE_COUNTS = (4, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def build_curves():
+    curves = {}
+    for kind in Interconnect:
+        curve = {}
+        for pes in PE_COUNTS:
+            if synthesizes(kind, pes):
+                curve[pes] = max_frequency_mhz(kind, pes)
+        curves[kind.value] = curve
+    return curves
+
+
+def test_figure8_noc_frequency(benchmark):
+    curves = benchmark.pedantic(build_curves, rounds=1, iterations=1)
+    text = format_series(
+        curves,
+        x_label="PEs",
+        title="Figure 8: max frequency (MHz) by interconnect; missing = "
+        "compile failure",
+        float_fmt="{:.0f}",
+    )
+    # Complexity context: switch counts at 64 ports.
+    benes = BenesNetwork(64)
+    text += (
+        f"\n\nComplexity at 64 ports: crossbar 64^2 = 4096 crosspoints, "
+        f"Benes {benes.num_switches} 2x2 switches ({benes.depth} stages), "
+        f"mesh 64 five-port routers."
+    )
+    emit("fig08_noc_frequency", text)
+
+    # Paper claims encoded as assertions:
+    # (1) crossbar dies first (>=256 fails), Benes/multistage at 512.
+    assert 256 not in curves["crossbar"]
+    assert 512 not in curves["benes"]
+    assert 512 not in curves["multistage_crossbar"]
+    # (2) mesh reaches 1,024 PEs above 250 MHz.
+    assert curves["mesh"][1024] > 250
+    # (3) at 128 PEs the ordering follows complexity.
+    assert (
+        curves["mesh"][128]
+        > curves["multistage_crossbar"][128]
+        > curves["crossbar"][128]
+    )
+    assert curves["mesh"][128] > curves["benes"][128] > curves["crossbar"][128]
+    # (4) mesh loses <20% from 4 to 1,024 PEs ("negligible loss").
+    assert curves["mesh"][1024] / curves["mesh"][4] > 0.8

@@ -1,0 +1,75 @@
+"""Figure 14: throughput (GTEPS) of ScalaGraph vs Gunrock and GraphDynS.
+
+Paper headlines (geometric means over 4 algorithms x 5 graphs):
+
+* ScalaGraph-512 / Gunrock       ~ 3.2x
+* ScalaGraph-512 / GraphDynS-512 ~ 2.2x
+* ScalaGraph-512 / GraphDynS-128 ~ 4.6x
+* ScalaGraph-128 / GraphDynS-128 ~ 1.2x
+* BFS shows the smallest speedups, PageRank the highest (Section V-B).
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.runner import ALGORITHM_ORDER, GRAPH_ORDER, SYSTEM_ORDER
+
+
+def test_figure14_throughput(benchmark, figure14_matrix):
+    matrix = figure14_matrix
+
+    def summarize():
+        rows = []
+        for graph in GRAPH_ORDER:
+            for algorithm in ALGORITHM_ORDER:
+                rows.append(
+                    [graph, algorithm]
+                    + [
+                        matrix.gteps(graph, algorithm, system)
+                        for system in SYSTEM_ORDER
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(summarize, rounds=1, iterations=1)
+
+    text = format_table(
+        ["Graph", "Algorithm"] + list(SYSTEM_ORDER),
+        rows,
+        title="Figure 14: throughput (GTEPS)",
+    )
+    ratios = [
+        ("ScalaGraph-512", "Gunrock", 3.2),
+        ("ScalaGraph-512", "GraphDynS-512", 2.2),
+        ("ScalaGraph-512", "GraphDynS-128", 4.6),
+        ("ScalaGraph-128", "GraphDynS-128", 1.2),
+    ]
+    lines = ["", "Speedups (geometric mean; paper value in parentheses):"]
+    for num, den, paper in ratios:
+        lines.append(
+            f"  {num} / {den}: {matrix.speedup(num, den):.2f}x ({paper}x)"
+        )
+    by_algo = matrix.speedup_by_algorithm("ScalaGraph-512", "Gunrock")
+    lines.append(
+        "  per-algorithm vs Gunrock: "
+        + ", ".join(f"{a}={by_algo[a]:.2f}x" for a in ALGORITHM_ORDER)
+    )
+    emit("fig14_throughput", text + "\n" + "\n".join(lines))
+
+    # --- Shape assertions -------------------------------------------
+    # Headline orderings hold in every cell.
+    for graph, algorithm in matrix.cells():
+        sg512 = matrix.gteps(graph, algorithm, "ScalaGraph-512")
+        assert sg512 > matrix.gteps(graph, algorithm, "GraphDynS-512")
+        assert sg512 > matrix.gteps(graph, algorithm, "GraphDynS-128")
+        assert sg512 > matrix.gteps(graph, algorithm, "Gunrock")
+
+    # Mean speedups land near the paper's factors.
+    assert 2.0 < matrix.speedup("ScalaGraph-512", "Gunrock") < 5.0
+    assert 1.5 < matrix.speedup("ScalaGraph-512", "GraphDynS-512") < 3.2
+    assert 3.0 < matrix.speedup("ScalaGraph-512", "GraphDynS-128") < 6.5
+    assert 1.0 < matrix.speedup("ScalaGraph-128", "GraphDynS-128") < 2.5
+
+    # BFS gains least, PageRank most (Section V-B).
+    assert by_algo["bfs"] == min(by_algo.values())
+    assert by_algo["pagerank"] >= 0.95 * max(by_algo.values())

@@ -1,0 +1,67 @@
+"""Figure 15: energy consumption, normalised to Gunrock.
+
+Paper headlines: ScalaGraph-512 uses ~7.1x less energy than Gunrock,
+~1.3x less at 128 PEs than GraphDynS-128, and 3.3x / 2.8x less than
+GraphDynS-128 / GraphDynS-512 at 512 PEs.  Energy = board power x
+simulated execution time; the FPGA designs draw tens of watts against
+the V100's 300 W.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, geometric_mean
+from repro.experiments.runner import ALGORITHM_ORDER, GRAPH_ORDER, SYSTEM_ORDER
+
+
+def test_figure15_energy(benchmark, figure14_matrix):
+    matrix = figure14_matrix
+
+    def summarize():
+        rows = []
+        normalized = {system: [] for system in SYSTEM_ORDER}
+        for graph in GRAPH_ORDER:
+            for algorithm in ALGORITHM_ORDER:
+                base = matrix.reports[(graph, algorithm, "Gunrock")]
+                row = [graph, algorithm]
+                for system in SYSTEM_ORDER:
+                    report = matrix.reports[(graph, algorithm, system)]
+                    ratio = report.energy_joules / base.energy_joules
+                    normalized[system].append(ratio)
+                    row.append(ratio)
+                rows.append(row)
+        return rows, normalized
+
+    rows, normalized = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    means = {s: geometric_mean(v) for s, v in normalized.items()}
+    rows.append(["gmean", ""] + [means[s] for s in SYSTEM_ORDER])
+
+    text = format_table(
+        ["Graph", "Algorithm"] + list(SYSTEM_ORDER),
+        rows,
+        title="Figure 15: energy normalised to Gunrock (lower is better)",
+        float_fmt="{:.3f}",
+    )
+    sg512_saving = 1.0 / means["ScalaGraph-512"]
+    text += (
+        f"\n\nScalaGraph-512 saves {sg512_saving:.1f}x energy vs Gunrock "
+        f"(paper ~7.1x); vs GraphDynS-128 "
+        f"{means['GraphDynS-128'] / means['ScalaGraph-512']:.1f}x (paper 3.3x); "
+        f"vs GraphDynS-512 "
+        f"{means['GraphDynS-512'] / means['ScalaGraph-512']:.1f}x (paper 2.8x); "
+        f"ScalaGraph-128 vs GraphDynS-128 "
+        f"{means['GraphDynS-128'] / means['ScalaGraph-128']:.2f}x (paper 1.3x)."
+    )
+    emit("fig15_energy", text)
+
+    # Every accelerator beats the GPU on energy; ScalaGraph-512 is best.
+    for system in SYSTEM_ORDER:
+        if system != "Gunrock":
+            assert means[system] < 1.0
+    assert means["ScalaGraph-512"] == min(
+        means[s] for s in SYSTEM_ORDER if s != "Gunrock"
+    )
+    # Factor bands around the paper's numbers.
+    assert 3.0 < sg512_saving < 15.0
+    assert means["GraphDynS-128"] / means["ScalaGraph-512"] > 1.8
+    assert means["GraphDynS-512"] / means["ScalaGraph-512"] > 1.4
+    assert means["GraphDynS-128"] / means["ScalaGraph-128"] > 1.0

@@ -1,0 +1,89 @@
+"""Figure 16: FPGA resource utilisation and power breakdown.
+
+Left table (paper): GraphDynS-128 22.8/11.6/74.7 (%LUT/%REG/%BRAM),
+ScalaGraph-128 10.9/6.4/70.8, GraphDynS-512 85.1/43.8/76.1,
+ScalaGraph-512 39.2/22.9/73.2.  Right pie: HBM 65.43%, SPD 16.30%,
+GU 9.99%, RU 5.25%, Dispatch 2.02%, Prefetch 1.01%.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.models.area import resource_utilization
+from repro.models.energy import accelerator_power_watts
+
+PAPER_ROWS = {
+    ("GraphDynS", 128): (22.8, 11.6, 74.7),
+    ("ScalaGraph", 128): (10.9, 6.4, 70.8),
+    ("GraphDynS", 512): (85.1, 43.8, 76.1),
+    ("ScalaGraph", 512): (39.2, 22.9, 73.2),
+}
+KIND = {"GraphDynS": "crossbar", "ScalaGraph": "mesh"}
+
+
+def build():
+    rows = []
+    measured = {}
+    for (system, pes), paper in PAPER_ROWS.items():
+        util = resource_utilization(pes, KIND[system])
+        measured[(system, pes)] = util
+        rows.append(
+            [
+                f"{system}-{pes}",
+                util.lut_pct,
+                paper[0],
+                util.reg_pct,
+                paper[1],
+                util.bram_pct,
+                paper[2],
+            ]
+        )
+    return rows, measured
+
+
+def test_figure16_resources_and_power(benchmark):
+    rows, measured = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "Accelerator",
+            "LUT%",
+            "(paper)",
+            "REG%",
+            "(paper)",
+            "BRAM%",
+            "(paper)",
+        ],
+        rows,
+        title="Figure 16 (left): U280 resource utilisation",
+        float_fmt="{:.1f}",
+    )
+
+    power = accelerator_power_watts(512, "mesh", 250.0)
+    breakdown = sorted(
+        power.breakdown().items(), key=lambda kv: kv[1], reverse=True
+    )
+    text += "\n\n" + format_table(
+        ["Component", "Share"],
+        [[name.upper(), f"{share:.2%}"] for name, share in breakdown],
+        title=f"Figure 16 (right): power breakdown "
+        f"(total {power.total_watts:.1f} W)",
+    )
+    emit("fig16_resources", text)
+
+    # Model matches every published row within 5%.
+    for key, paper in PAPER_ROWS.items():
+        util = measured[key]
+        for ours, theirs in zip(util.as_row(), paper):
+            assert abs(ours - theirs) / theirs < 0.05
+
+    # Paper's factor claims: 2.1x fewer LUTs, 1.8x fewer REGs at equal PEs.
+    for pes in (128, 512):
+        gd = measured[("GraphDynS", pes)]
+        sg = measured[("ScalaGraph", pes)]
+        assert gd.lut_pct / sg.lut_pct > 1.9
+        assert gd.reg_pct / sg.reg_pct > 1.6
+
+    # Power breakdown: HBM dominates, NoC (RU) is small.
+    shares = power.breakdown()
+    assert shares["hbm"] > 0.6
+    assert shares["ru"] < 0.06

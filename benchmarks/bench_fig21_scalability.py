@@ -1,0 +1,85 @@
+"""Figure 21: ScalaGraph's performance scaling with the PE count.
+
+Paper: near-linear speedup up to 512 PEs on the U280's 460 GB/s;
+1024 PEs gains only 1.16x over 512 (bandwidth saturated); with ample
+off-chip bandwidth (the cycle-accurate >=1024-PE study), each doubling
+beyond 1,024 PEs still buys ~1.47x.
+"""
+
+from conftest import emit
+
+from repro.algorithms import PageRank, run_reference
+from repro.core import ScalaGraph, ScalaGraphConfig
+from repro.experiments import format_series, geometric_mean
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+from repro.memory.hbm import HBMConfig
+
+U280_PES = (32, 64, 128, 256, 512, 1024)
+UNBOUNDED_PES = (1024, 2048, 4096)
+MAX_ITERS = 5
+
+
+def run_scaling():
+    u280 = {name: {} for name in DATASET_ORDER}
+    unbounded = {name: {} for name in DATASET_ORDER}
+    for name in DATASET_ORDER:
+        graph = load_dataset(name)
+        reference = run_reference(PageRank(), graph, max_iterations=MAX_ITERS)
+        base = None
+        for pes in U280_PES:
+            report = ScalaGraph(ScalaGraphConfig().with_pes(pes)).run(
+                PageRank(), graph, reference=reference
+            )
+            if base is None:
+                base = report.gteps
+            u280[name][pes] = report.gteps / base
+        for pes in UNBOUNDED_PES:
+            config = ScalaGraphConfig(hbm=HBMConfig.unbounded()).with_pes(pes)
+            report = ScalaGraph(config).run(
+                PageRank(), graph, reference=reference
+            )
+            unbounded[name][pes] = report.gteps / base
+    return u280, unbounded
+
+
+def test_figure21_scalability(benchmark):
+    u280, unbounded = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    text = format_series(
+        u280,
+        x_label="PEs",
+        title="Figure 21: speedup over 32 PEs on the U280 (460 GB/s)",
+    )
+    text += "\n\n" + format_series(
+        unbounded,
+        x_label="PEs",
+        title="Figure 21 (right): >=1024 PEs with ample off-chip bandwidth",
+    )
+    saturation = geometric_mean(
+        [u280[n][1024] / u280[n][512] for n in DATASET_ORDER]
+    )
+    doubling = geometric_mean(
+        [
+            (unbounded[n][4096] / unbounded[n][1024]) ** 0.5
+            for n in DATASET_ORDER
+        ]
+    )
+    text += (
+        f"\n\n1024 vs 512 PEs on U280: {saturation:.2f}x (paper 1.16x, "
+        f"bandwidth-saturated); per-doubling beyond 1024 with ample "
+        f"bandwidth: {doubling:.2f}x (paper 1.47x)."
+    )
+    emit("fig21_scalability", text)
+
+    for name in DATASET_ORDER:
+        curve = u280[name]
+        # Monotone scaling...
+        values = [curve[p] for p in U280_PES]
+        assert values == sorted(values)
+        # ...substantial through 512 (near-linear regime)...
+        assert curve[512] > 4.0
+        # ...then bandwidth-saturated at 1024 on the U280.
+        assert curve[1024] / curve[512] < 1.6
+        # With ample bandwidth, 4096 PEs keep scaling past the U280 wall.
+        assert unbounded[name][4096] > curve[1024]
+    assert 1.0 <= saturation < 1.6
+    assert 1.1 < doubling < 1.9

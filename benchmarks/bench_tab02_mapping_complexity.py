@@ -1,0 +1,105 @@
+"""Table II: communication volume of the three mappings.
+
+The paper derives, for K PEs, N active vertices and M active edges:
+
+===================  ==============  ======  ==========
+Mechanism            Scatter         Apply   Off-chip
+===================  ==============  ======  ==========
+Source-oriented      O(M sqrt(K))    O(N)    O(N + M)
+Destination-orient.  0               O(NK)   O(NK + M)
+Row-oriented         O(M sqrt(K)/2)  O(N)    O(N + M)
+===================  ==============  ======  ==========
+
+This bench measures the actual volumes on a PageRank frontier and checks
+each asymptotic claim empirically: scaling in K for Scatter, the factor
+~2 between SOM and ROM, and DOM's O(NK) Apply/off-chip terms.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.algorithms.reference import gather_frontier_edges
+from repro.experiments import format_table
+from repro.graph.datasets import load_dataset
+from repro.mapping import make_mapping
+from repro.noc.topology import MeshTopology
+
+MESHES = {16: (4, 4), 64: (8, 8), 256: (16, 16)}
+
+
+def measure():
+    graph = load_dataset("PK")
+    active = np.arange(graph.num_vertices)
+    src, dst, _ = gather_frontier_edges(graph, active)
+    updated = np.unique(dst)
+
+    rows = []
+    volumes = {}
+    for k, (r, c) in MESHES.items():
+        topo = MeshTopology(r, c)
+        for name in ("som", "dom", "rom"):
+            mapping = make_mapping(name, topo)
+            scatter = mapping.scatter_traffic(src, dst)
+            apply_t = mapping.apply_traffic(updated)
+            offchip = mapping.offchip_bytes(active.size, src.size)
+            volumes[(name, k)] = (
+                scatter.total_hops,
+                apply_t.total_hops,
+                offchip,
+            )
+            rows.append(
+                [
+                    name.upper(),
+                    k,
+                    scatter.total_hops,
+                    float(scatter.average_hops),
+                    apply_t.total_hops,
+                    offchip,
+                ]
+            )
+    return rows, volumes, src.size, updated.size
+
+
+def test_table2_mapping_complexity(benchmark):
+    rows, volumes, m_edges, n_updated = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    text = format_table(
+        [
+            "Mapping",
+            "K",
+            "Scatter hops",
+            "avg hops",
+            "Apply hops",
+            "Off-chip bytes",
+        ],
+        rows,
+        title="Table II (empirical): communication volume on PageRank/PK",
+    )
+    emit("tab02_mapping_complexity", text)
+
+    # O(M sqrt(K)): quadrupling K doubles SOM/ROM Scatter hops.
+    for name in ("som", "rom"):
+        ratio_64_16 = volumes[(name, 64)][0] / volumes[(name, 16)][0]
+        ratio_256_64 = volumes[(name, 256)][0] / volumes[(name, 64)][0]
+        assert 1.6 < ratio_64_16 < 2.4
+        assert 1.6 < ratio_256_64 < 2.4
+
+    # ROM ~ SOM / 2 at every K (square mesh: the row hops vanish).
+    for k in MESHES:
+        assert volumes[("rom", k)][0] < volumes[("som", k)][0]
+        assert volumes[("rom", k)][0] / volumes[("som", k)][0] < 0.65
+
+    # DOM: zero Scatter, O(NK) Apply, O(NK + M) off-chip.
+    for k in MESHES:
+        assert volumes[("dom", k)][0] == 0
+        assert volumes[("dom", k)][1] == n_updated * (k - 1)
+        assert volumes[("dom", k)][2] > volumes[("som", k)][2]
+    assert (
+        volumes[("dom", 256)][1] / volumes[("dom", 16)][1]
+        == (256 - 1) / (16 - 1)
+    )
+
+    # SOM/ROM Apply is K-independent (O(N)).
+    for name in ("som", "rom"):
+        assert volumes[(name, 16)][1] == volumes[(name, 256)][1] == 0

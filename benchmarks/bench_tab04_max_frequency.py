@@ -1,0 +1,50 @@
+"""Table IV: maximal frequency of ScalaGraph vs GraphDynS, 32-1024 PEs.
+
+Paper row for ScalaGraph (mesh): 304/293/292/285/274/258 MHz; GraphDynS
+(crossbar): 270/227/112 then route failure ('-').
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.models.frequency import max_frequency_mhz, synthesizes
+
+PE_COUNTS = (32, 64, 128, 256, 512, 1024)
+PAPER = {
+    "ScalaGraph": {32: 304, 64: 293, 128: 292, 256: 285, 512: 274, 1024: 258},
+    "GraphDynS": {32: 270, 64: 227, 128: 112},
+}
+KIND = {"ScalaGraph": "mesh", "GraphDynS": "crossbar"}
+
+
+def build_rows():
+    rows = []
+    measured = {}
+    for system, kind in KIND.items():
+        row = [system]
+        for pes in PE_COUNTS:
+            if synthesizes(kind, pes):
+                freq = max_frequency_mhz(kind, pes)
+                measured[(system, pes)] = freq
+                row.append(f"{freq:.0f}")
+            else:
+                row.append("-")
+        rows.append(row)
+    return rows, measured
+
+
+def test_table4_max_frequency(benchmark):
+    rows, measured = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["System"] + [str(p) for p in PE_COUNTS],
+        rows,
+        title="Table IV: maximal frequency (MHz); '-' = synthesis failure",
+    )
+    emit("tab04_max_frequency", text)
+
+    for system, points in PAPER.items():
+        for pes, expected in points.items():
+            assert abs(measured[(system, pes)] - expected) / expected < 0.02
+    # The '-' entries.
+    for pes in (256, 512, 1024):
+        assert ("GraphDynS", pes) not in measured

@@ -1,0 +1,76 @@
+"""Model validation: analytic timing model vs cycle-accurate simulation.
+
+Not a paper figure — this bench quantifies the fidelity of the
+cycle-approximate model that generates Figures 14-21, by replaying the
+same workloads through the cycle-by-cycle tile simulator
+(:class:`repro.core.CycleAccurateScalaGraph`) on small graphs and
+comparing Scatter-phase cycle counts (the analytic model's fixed
+per-phase overhead excluded, since the cycle sim models a drained
+steady state).
+"""
+
+from conftest import emit
+
+from repro.algorithms import BFS, ConnectedComponents, PageRank, run_reference
+from repro.core import CycleAccurateScalaGraph, ScalaGraph, ScalaGraphConfig
+from repro.experiments import format_table, geometric_mean
+from repro.graph.generators import rmat_graph
+
+CONFIG = ScalaGraphConfig(num_tiles=1, pe_rows=4, pe_cols=4)
+WORKLOADS = [
+    ("rmat7-pagerank", rmat_graph(7, edge_factor=8, seed=3), PageRank(max_iters=3)),
+    ("rmat8-pagerank", rmat_graph(8, edge_factor=6, seed=4), PageRank(max_iters=3)),
+    ("rmat7-bfs", rmat_graph(7, edge_factor=8, seed=5), BFS()),
+    ("rmat7-cc", rmat_graph(7, edge_factor=8, seed=6), ConnectedComponents()),
+]
+
+
+def run_validation():
+    rows = []
+    ratios = []
+    for label, graph, program in WORKLOADS:
+        reference = run_reference(program, graph)
+        cycle = CycleAccurateScalaGraph(CONFIG).run(program, graph)
+        analytic = ScalaGraph(CONFIG).run(program, graph, reference=reference)
+        overhead = CONFIG.timing.phase_overhead_cycles
+        measured = sum(cycle.stats.scatter_cycles)
+        modelled = sum(
+            max(it.scatter_cycles - overhead, 1.0)
+            for it in analytic.iterations
+        )
+        ratio = measured / modelled
+        ratios.append(ratio)
+        rows.append(
+            [
+                label,
+                graph.num_edges,
+                measured,
+                modelled,
+                ratio,
+            ]
+        )
+    return rows, ratios
+
+
+def test_validation_cycle_accurate_vs_analytic(benchmark):
+    rows, ratios = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "Workload",
+            "edges",
+            "cycle-accurate scatter cyc",
+            "analytic (minus overhead)",
+            "ratio",
+        ],
+        rows,
+        title="Timing-model validation on a 4x4 tile",
+    )
+    text += (
+        f"\n\nGeomean cycle-accurate / analytic ratio: "
+        f"{geometric_mean(ratios):.2f} (1.0 = perfect)."
+    )
+    emit("validation_cycle_sim", text)
+
+    for ratio in ratios:
+        assert 0.4 < ratio < 2.5
+    assert 0.6 < geometric_mean(ratios) < 1.7

@@ -1,0 +1,41 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*`` file regenerates one table or figure of the paper and
+prints the rows/series; every emitted table is also written to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.  ``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_matrix
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def figure14_matrix():
+    """The full Figure 14/15/20 sweep: 5 graphs x 4 algorithms x 5
+    systems, sharing one reference execution per cell."""
+    return run_matrix()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

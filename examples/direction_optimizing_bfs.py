@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Direction-optimizing BFS on the accelerator (extension study).
+
+The paper's introduction cites Beamer's direction-optimizing BFS [4] as
+a key algorithmic advance; this example shows what it buys on top of the
+ScalaGraph hardware.  On low-diameter power-law graphs the bottom-up
+(pull) phases examine a small fraction of the edges the classic top-down
+traversal scatters, and the savings carry straight through the timing
+model via :meth:`ScalaGraph.run_trace`.
+"""
+
+from repro import BFS, ScalaGraph, ScalaGraphConfig, load_dataset, run_reference
+from repro.algorithms import run_direction_optimizing_bfs
+from repro.algorithms.dobfs import as_workload
+from repro.experiments import format_table
+from repro.graph import largest_out_component_root
+
+
+def main() -> None:
+    accel = ScalaGraph(ScalaGraphConfig())
+    rows = []
+    for name in ("PK", "LJ", "TW"):
+        graph = load_dataset(name)
+        root = largest_out_component_root(graph)
+
+        plain = run_reference(BFS(root=root), graph)
+        plain_report = accel.run(BFS(root=root), graph, reference=plain)
+
+        dobfs = run_direction_optimizing_bfs(graph, root=root)
+        assert (dobfs.depths == plain.properties).all()
+        dobfs_report = accel.run_trace(
+            graph,
+            as_workload(dobfs),
+            algorithm="dobfs",
+            monotonic=True,
+            properties=dobfs.depths,
+        )
+        rows.append(
+            [
+                name,
+                plain.total_edges_traversed,
+                dobfs.total_edges_examined,
+                f"{1 - dobfs.total_edges_examined / plain.total_edges_traversed:.0%}",
+                dobfs.pull_iterations,
+                plain_report.total_cycles,
+                dobfs_report.total_cycles,
+                plain_report.total_cycles / dobfs_report.total_cycles,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "Graph",
+                "push edges",
+                "DO edges",
+                "edges saved",
+                "pull iters",
+                "push cycles",
+                "DO cycles",
+                "speedup",
+            ],
+            rows,
+            title="Direction-optimizing BFS vs top-down BFS on ScalaGraph-512",
+        )
+    )
+    print(
+        "\nThe pull phases skip edges into already-visited vertices — the "
+        "same result, computed\nwith a fraction of the traffic, and the "
+        "accelerator's cycle count follows the edge count."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bulk-synchronous vs event-driven execution (GraphPulse study).
+
+The paper's Figure 1 model is bulk-synchronous: each iteration
+re-scatters every active vertex, even when most updates change nothing.
+GraphPulse-style event-driven execution processes only live updates and
+coalesces same-vertex events in its queue.  This study measures the
+work gap on the reproduction's engines and then shows the other side of
+the trade: the event design's centralised queue sits behind a
+multi-stage crossbar whose clock collapses long before ScalaGraph's
+mesh does.
+"""
+
+from repro import (
+    BFS,
+    SSSP,
+    EventDrivenEngine,
+    GraphPulse,
+    ScalaGraph,
+    ScalaGraphConfig,
+    load_dataset,
+    run_reference,
+)
+from repro.experiments import format_table
+from repro.models.frequency import max_frequency_mhz, synthesizes
+
+
+def main() -> None:
+    engine = EventDrivenEngine()
+    rows = []
+    for name in ("PK", "LJ", "TW"):
+        graph = load_dataset(name, weighted=True)
+        program = SSSP()
+        bsp = run_reference(program, graph)
+        event = engine.run(program, graph)
+        assert (event.properties == bsp.properties).all()
+        rows.append(
+            [
+                name,
+                bsp.total_edges_traversed,
+                event.stats.events_processed,
+                f"{1 - event.stats.events_processed / bsp.total_edges_traversed:.0%}",
+                f"{event.stats.coalesce_rate:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "Graph",
+                "BSP edge traversals",
+                "events processed",
+                "work saved",
+                "queue coalesce rate",
+            ],
+            rows,
+            title="SSSP: bulk-synchronous vs event-driven work "
+            "(identical results)",
+        )
+    )
+
+    graph = load_dataset("PK")
+    pulse = GraphPulse().run(BFS(), graph)
+    scala = ScalaGraph(ScalaGraphConfig()).run(BFS(), graph)
+    print(
+        f"\nBFS on PK: {pulse.accelerator} @ {pulse.frequency_mhz:.0f} MHz "
+        f"-> {pulse.seconds * 1e6:.1f} us; "
+        f"{scala.accelerator} @ {scala.frequency_mhz:.0f} MHz "
+        f"-> {scala.seconds * 1e6:.1f} us"
+    )
+    print(
+        "\nThe interconnect is the catch: the multi-stage crossbar "
+        "clocks at "
+        f"{max_frequency_mhz('multistage_crossbar', 256):.0f} MHz at 256 PEs "
+        f"and fails to synthesise at 512 "
+        f"(synthesizes: {synthesizes('multistage_crossbar', 512)}), while "
+        f"ScalaGraph's mesh holds "
+        f"{max_frequency_mhz('mesh', 512):.0f} MHz at 512 PEs — "
+        "Section VI's scalability argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Study the three workload-PE mappings (paper Section IV-A, Table II).
+
+Places one PageRank frontier on meshes of growing size under the
+source-oriented, destination-oriented, and row-oriented mappings, and
+prints the communication volumes that motivate ScalaGraph's row-oriented
+design — then confirms the end-to-end effect with full timing-model runs.
+"""
+
+import numpy as np
+
+from repro import PageRank, ScalaGraph, ScalaGraphConfig, load_dataset, run_reference
+from repro.algorithms.reference import gather_frontier_edges
+from repro.experiments import format_table
+from repro.mapping import make_mapping
+from repro.noc.topology import MeshTopology
+
+
+def main() -> None:
+    graph = load_dataset("LJ")
+    src, dst, _ = gather_frontier_edges(
+        graph, np.arange(graph.num_vertices)
+    )
+    updated = np.unique(dst)
+    print(f"One PageRank Scatter phase on {graph}: {src.size:,} edge workloads\n")
+
+    rows = []
+    for side in (4, 8, 16):
+        topo = MeshTopology(side, side)
+        for name in ("som", "dom", "rom"):
+            mapping = make_mapping(name, topo)
+            scatter = mapping.scatter_traffic(src, dst)
+            apply_t = mapping.apply_traffic(updated)
+            rows.append(
+                [
+                    f"{side}x{side}",
+                    name.upper(),
+                    scatter.num_messages,
+                    scatter.total_hops,
+                    float(scatter.average_hops),
+                    apply_t.total_hops,
+                    mapping.replica_storage_vertices(graph.num_vertices),
+                ]
+            )
+    print(
+        format_table(
+            [
+                "Mesh",
+                "Mapping",
+                "Scatter msgs",
+                "Scatter hops",
+                "avg hops",
+                "Apply hops",
+                "replica storage",
+            ],
+            rows,
+            title="Table II, measured (per Scatter/Apply phase)",
+        )
+    )
+
+    print("\nEnd-to-end timing-model runs (512 PEs):")
+    program = PageRank(max_iters=10)
+    reference = run_reference(program, graph)
+    for name in ("som", "rom"):
+        accel = ScalaGraph(ScalaGraphConfig(mapping=name))
+        report = accel.run(program, graph, reference=reference)
+        print(f"  {name.upper()}: {report.gteps:6.2f} GTEPS "
+              f"({report.total_noc_hops:,} NoC hops)")
+    print(
+        "\nThe row-oriented mapping turns same-row remote accesses into "
+        "local ones,\nhalving Scatter traffic without DOM's O(N*K) "
+        "replicas — Section IV-A."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Interconnect study: why ScalaGraph picked a plain 2D mesh.
+
+Walks through the paper's Section III-A reasoning with the library's
+cycle-level simulators and models:
+
+1. hardware complexity and achievable clock per interconnect (Figure 8);
+2. saturation throughput of the mesh under canonical traffic patterns,
+   including the hotspot pattern a hub vertex induces;
+3. what the crossbar's single-cycle routing costs at scale, and what the
+   torus's shorter routes would (not) buy.
+"""
+
+from repro.experiments import bar_chart, format_table
+from repro.models.frequency import Interconnect, max_frequency_mhz, synthesizes
+from repro.noc.benes import BenesNetwork
+from repro.noc.patterns import PATTERNS, saturation_throughput
+from repro.noc.topology import MeshTopology
+from repro.noc.torus import TorusTopology
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Clock vs complexity.
+    # ------------------------------------------------------------------
+    rows = []
+    for pes in (64, 128, 256, 512, 1024):
+        row = [pes]
+        for kind in Interconnect:
+            if synthesizes(kind, pes):
+                row.append(f"{max_frequency_mhz(kind, pes):.0f}")
+            else:
+                row.append("fail")
+        rows.append(row)
+    print(
+        format_table(
+            ["PEs"] + [k.value for k in Interconnect],
+            rows,
+            title="Max clock (MHz) by interconnect — Figure 8",
+        )
+    )
+    benes = BenesNetwork(256)
+    print(
+        f"\nComplexity at 256 endpoints: crossbar 256^2 = 65,536 "
+        f"crosspoints; Benes {benes.num_switches} switches over "
+        f"{benes.depth} stages; mesh: 256 five-port routers.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Mesh behaviour under canonical traffic.
+    # ------------------------------------------------------------------
+    topo = MeshTopology(8, 8)
+    throughputs = {
+        name: saturation_throughput(topo, name, packets=500, seed=1)
+        for name in sorted(PATTERNS)
+    }
+    print("8x8 mesh saturation throughput (packets/node/cycle):")
+    print(bar_chart(throughputs, value_fmt="{:.3f}"))
+    print(
+        "\nHotspot traffic — what a hub vertex creates — is the killer "
+        "pattern; ScalaGraph's\naggregation pipeline coalesces it before "
+        "it reaches the links (Section IV-B).\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Route-length comparison: mesh vs torus.
+    # ------------------------------------------------------------------
+    mesh = MeshTopology(16, 16)
+    torus = TorusTopology(16, 16)
+    print(
+        format_table(
+            ["Topology", "avg hops (any pair)", "avg hops (column only)"],
+            [
+                ["16x16 mesh", mesh.average_distance(), mesh.average_column_distance()],
+                ["16x16 torus", torus.average_distance(), torus.average_column_distance()],
+            ],
+            title="Route lengths: what wrap-around links would buy",
+        )
+    )
+    print(
+        "\nThe row-oriented mapping already confines traffic to columns "
+        "(~5.3 hops); the torus\nwould shave ~25% more hops but costs "
+        "clock margin on an FPGA and, as the ablation bench\nshows "
+        "(benchmarks/bench_ablation_design.py), buys almost no end-to-end "
+        "performance —\nthe mesh is simply not ScalaGraph's bottleneck. "
+        "That is the paper's design point."
+    )
+
+
+if __name__ == "__main__":
+    main()

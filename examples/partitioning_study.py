@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Graph partitioning study: what happens when vertices outgrow the SPD.
+
+Section III-A: graphs whose vertex properties cannot reside in the
+scratchpad are sliced Graphicionado-style into destination intervals and
+processed round-robin.  This study shrinks the scratchpad on a fixed
+graph and shows the cost: more partition passes per iteration, and the
+loss of inter-phase pipelining (Section V-D: partitioned TW gains least
+from pipelining).
+"""
+
+from repro import ConnectedComponents, ScalaGraph, ScalaGraphConfig, load_dataset, run_reference
+from repro.experiments import format_table
+from repro.graph.partition import slice_intervals
+from repro.memory.spd import ScratchpadConfig
+
+
+def main() -> None:
+    graph = load_dataset("TW")
+    program = ConnectedComponents()
+    reference = run_reference(program, graph)
+    print(
+        f"CC on {graph}: {reference.num_iterations} iterations, "
+        f"{reference.total_edges_traversed:,} edges\n"
+    )
+
+    rows = []
+    full_budget = graph.num_vertices * 8  # bytes to hold everything
+    for divisor in (1, 2, 4, 8, 16):
+        spd = ScratchpadConfig(total_bytes=max(full_budget // divisor, 64))
+        partitions = slice_intervals(graph, spd.capacity_vertices)
+        config = ScalaGraphConfig(spd=spd)
+        report = ScalaGraph(config).run(program, graph, reference=reference)
+        no_pipe = ScalaGraph(
+            ScalaGraphConfig(spd=spd, inter_phase_pipelining=False)
+        ).run(program, graph, reference=reference)
+        rows.append(
+            [
+                f"1/{divisor}",
+                len(partitions),
+                report.gteps,
+                no_pipe.total_cycles / report.total_cycles,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "SPD budget",
+                "partitions",
+                "GTEPS",
+                "pipelining speedup",
+            ],
+            rows,
+            title="Shrinking the scratchpad: partitioning cost on CC/TW",
+        )
+    )
+    print(
+        "\nOnce the graph no longer fits (partitions > 1), every Scatter "
+        "pass re-streams the\nactive list, per-pass overheads multiply, "
+        "and the inter-phase pipeline shuts off\n(updated properties of "
+        "one partition cannot feed the next pass) — Section V-D."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scalability study: why the distributed on-chip memory matters.
+
+Sweeps the PE count for ScalaGraph (mesh) and a crossbar design
+(GraphDynS-style), showing the paper's central claim: the crossbar's
+O(N^2) hardware caps its clock and then fails to route entirely, while
+the mesh scales to 1,024+ PEs (Sections II-B, V-E; Figures 4 and 21,
+Table IV).
+"""
+
+from repro import (
+    GraphDynS,
+    PageRank,
+    ScalaGraph,
+    ScalaGraphConfig,
+    SynthesisError,
+    load_dataset,
+    run_reference,
+)
+from repro.experiments import format_table
+from repro.models.frequency import max_frequency_mhz, synthesizes
+
+
+def main() -> None:
+    graph = load_dataset("OR")
+    program = PageRank(max_iters=10)
+    reference = run_reference(program, graph)
+    print(f"Scaling study on {graph}\n")
+
+    rows = []
+    for pes in (32, 64, 128, 256, 512, 1024):
+        sg = ScalaGraph(ScalaGraphConfig().with_pes(pes)).run(
+            program, graph, reference=reference
+        )
+        if synthesizes("crossbar", pes):
+            gd = GraphDynS.with_pes(pes).run(
+                program, graph, reference=reference
+            )
+            gd_cell = f"{gd.gteps:.2f} @ {gd.frequency_mhz:.0f} MHz"
+        else:
+            gd_cell = "route failure"
+        rows.append(
+            [
+                pes,
+                f"{sg.gteps:.2f} @ {sg.frequency_mhz:.0f} MHz",
+                f"{sg.pe_utilization:.0%}",
+                gd_cell,
+            ]
+        )
+    print(
+        format_table(
+            ["PEs", "ScalaGraph (mesh)", "util", "GraphDynS (crossbar)"],
+            rows,
+            title="GTEPS and clock vs PE count",
+        )
+    )
+
+    print("\nSynthesis model detail (Table IV):")
+    for pes in (128, 256, 1024):
+        mesh = max_frequency_mhz("mesh", pes)
+        try:
+            xbar = f"{max_frequency_mhz('crossbar', pes):.0f} MHz"
+        except SynthesisError as exc:
+            xbar = f"fails ({exc})"
+        print(f"  {pes:5d} PEs: mesh {mesh:.0f} MHz, crossbar {xbar}")
+
+
+if __name__ == "__main__":
+    main()

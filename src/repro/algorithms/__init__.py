@@ -1,0 +1,66 @@
+"""Vertex-centric programming model and the paper's four algorithms.
+
+Section V-A evaluates BFS, SSSP, CC, and PageRank written against the
+Process/Reduce/Apply model of Figure 1.  :mod:`repro.algorithms.base`
+defines the :class:`VertexProgram` interface, and
+:mod:`repro.algorithms.reference` provides a functional engine that runs a
+program to convergence, producing gold results plus the per-iteration
+active-set traces that drive the accelerator timing models.
+"""
+
+from repro.algorithms.base import ProgramContext, VertexProgram
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.spmv import SpMV
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.sswp import WidestPath
+from repro.algorithms.dobfs import (
+    DirectionOptimizingResult,
+    DirectionStep,
+    run_direction_optimizing_bfs,
+)
+from repro.algorithms.reference import (
+    IterationTrace,
+    ReferenceResult,
+    run_reference,
+)
+
+#: The paper's four algorithms plus two extensions (SpMV as a raw
+#: throughput microbenchmark, SSWP as a max-reduce monotonic program).
+ALGORITHMS = {
+    "bfs": BFS,
+    "sssp": SSSP,
+    "cc": ConnectedComponents,
+    "pagerank": PageRank,
+    "spmv": SpMV,
+    "sswp": WidestPath,
+}
+
+
+def make_algorithm(name: str, **kwargs) -> VertexProgram:
+    """Instantiate one of the paper's four algorithms by name."""
+    key = name.lower()
+    if key not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[key](**kwargs)
+
+
+__all__ = [
+    "ProgramContext",
+    "VertexProgram",
+    "BFS",
+    "SSSP",
+    "ConnectedComponents",
+    "PageRank",
+    "SpMV",
+    "WidestPath",
+    "DirectionOptimizingResult",
+    "DirectionStep",
+    "run_direction_optimizing_bfs",
+    "IterationTrace",
+    "ReferenceResult",
+    "run_reference",
+    "ALGORITHMS",
+    "make_algorithm",
+]

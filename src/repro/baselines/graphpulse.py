@@ -1,0 +1,145 @@
+"""GraphPulse baseline (Rahman et al., MICRO 2020).
+
+GraphPulse is the event-driven accelerator the paper cites for its
+on-chip event queue and its multi-stage crossbar (Sections I, VI;
+Figure 8 covers that interconnect's frequency wall).  The functional
+behaviour comes from :class:`repro.engines.EventDrivenEngine`; the
+timing model charges one queue-op/compute slot per processed event, an
+on-demand (random) adjacency fetch per propagating vertex, and the
+multi-stage crossbar's clock.
+
+Event-driven execution often does *less total work* than the
+bulk-synchronous model (no redundant re-scatters of unchanged vertices),
+which is GraphPulse's advantage; its ceiling is the centralised queue
+and the crossbar-family interconnect, which is ScalaGraph's opening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algorithms.base import VertexProgram
+from repro.core.stats import IterationStats, SimulationReport
+from repro.engines.event_driven import EventDrivenEngine
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.memory.hbm import HBMConfig, HBMModel
+from repro.models.frequency import Interconnect, max_frequency_mhz
+
+
+@dataclass(frozen=True)
+class GraphPulseConfig:
+    """GraphPulse model parameters.
+
+    Attributes:
+        num_pes: event processors (the MICRO'20 design uses 256 behind
+            a multi-stage crossbar — its route-failure limit).
+        frequency_mhz: clock; None derives it from the multi-stage
+            crossbar synthesis model.
+        events_per_pe_cycle: sustained event throughput per processor.
+        queue_ops_per_cycle: coalescing-queue bandwidth (insert+merge).
+        coalesce: enable queue coalescing (GraphPulse's core feature).
+        hbm: off-chip memory.
+        edge_bytes: bytes per edge record.
+    """
+
+    num_pes: int = 256
+    frequency_mhz: Optional[float] = None
+    events_per_pe_cycle: float = 1.0
+    queue_ops_per_cycle: float = 64.0
+    coalesce: bool = True
+    hbm: HBMConfig = field(default_factory=HBMConfig)
+    edge_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_pes <= 0:
+            raise ConfigurationError("num_pes must be positive")
+        if self.events_per_pe_cycle <= 0 or self.queue_ops_per_cycle <= 0:
+            raise ConfigurationError("throughput parameters must be positive")
+
+    @property
+    def clock_mhz(self) -> float:
+        if self.frequency_mhz is not None:
+            return self.frequency_mhz
+        return max_frequency_mhz(
+            Interconnect.MULTISTAGE_CROSSBAR, self.num_pes
+        )
+
+
+class GraphPulse:
+    """Event-driven accelerator model producing the common report type."""
+
+    name = "GraphPulse"
+
+    def __init__(self, config: Optional[GraphPulseConfig] = None) -> None:
+        self.config = config or GraphPulseConfig()
+        self._engine = EventDrivenEngine(coalesce=self.config.coalesce)
+        self._hbm = HBMModel(self.config.hbm, self.config.clock_mhz * 1e6)
+
+    def run(
+        self,
+        program: VertexProgram,
+        graph: CSRGraph,
+        max_iterations: Optional[int] = None,
+        reference=None,
+    ) -> SimulationReport:
+        del max_iterations, reference  # asynchronous: no iterations
+        cfg = self.config
+        result = self._engine.run(program, graph)
+        stats = result.stats
+
+        # Compute bound: every processed event occupies a PE slot.
+        compute = stats.events_processed / (
+            cfg.num_pes * cfg.events_per_pe_cycle
+        )
+        # Queue bound: every generated event is one queue operation.
+        queue = stats.events_generated / cfg.queue_ops_per_cycle
+        # Memory: events that propagate stream their vertex's adjacency
+        # on demand — sequential within a vertex, random across vertices
+        # (one line of overhead per propagating vertex).
+        edge_bytes = stats.events_generated * cfg.edge_bytes
+        line_overheads = stats.events_processed * 8  # addr + offsets
+        memory = self._hbm.stream_cycles(edge_bytes + line_overheads)
+
+        total_cycles = max(compute, queue, memory)
+        iteration = IterationStats(
+            index=0,
+            num_active=graph.num_vertices,
+            num_edges=stats.events_generated,
+            scatter_cycles=total_cycles,
+            apply_cycles=0.0,
+            coalesced_updates=stats.events_coalesced,
+            offchip_bytes=float(edge_bytes + line_overheads),
+            scatter_bottleneck=(
+                "compute"
+                if compute >= max(queue, memory)
+                else ("noc" if queue >= memory else "memory")
+            ),
+        )
+
+        from repro.models.energy import accelerator_power_watts
+
+        power = accelerator_power_watts(
+            cfg.num_pes, Interconnect.MULTISTAGE_CROSSBAR, cfg.clock_mhz
+        ).total_watts
+
+        return SimulationReport(
+            accelerator=f"GraphPulse-{cfg.num_pes}",
+            algorithm=program.name,
+            graph_name=graph.name,
+            num_pes=cfg.num_pes,
+            frequency_mhz=cfg.clock_mhz,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            total_edges_traversed=stats.events_generated,
+            total_cycles=total_cycles,
+            iterations=[iteration],
+            properties=result.properties,
+            power_watts=power,
+            extra={
+                "events_processed": float(stats.events_processed),
+                "events_coalesced": float(stats.events_coalesced),
+                "peak_queue_size": float(stats.peak_queue_size),
+            },
+        )

@@ -1,0 +1,257 @@
+"""Command-line interface: run, compare, and sweep without writing code.
+
+Examples::
+
+    python -m repro datasets
+    python -m repro run -d PK -a pagerank --pes 512
+    python -m repro compare -d TW -a bfs
+    python -m repro sweep -d OR -a pagerank --pes 32 64 128 256 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms import ALGORITHMS, make_algorithm, run_reference
+from repro.core import ScalaGraph, ScalaGraphConfig
+from repro.experiments import format_table
+from repro.experiments.runner import (
+    SYSTEM_BUILDERS,
+    build_system,
+    load_benchmark_graph,
+)
+from repro.graph.datasets import DATASETS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ScalaGraph (HPCA 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "-d",
+            "--dataset",
+            default="PK",
+            help=f"dataset code ({', '.join(DATASETS)})",
+        )
+        p.add_argument(
+            "-a",
+            "--algorithm",
+            default="pagerank",
+            choices=sorted(ALGORITHMS),
+        )
+        p.add_argument(
+            "--scale-shift",
+            type=int,
+            default=0,
+            help="log2 size adjustment of the dataset stand-in",
+        )
+        p.add_argument(
+            "--max-iterations", type=int, default=None, metavar="N"
+        )
+
+    run_p = sub.add_parser("run", help="run one algorithm on ScalaGraph")
+    add_workload_args(run_p)
+    run_p.add_argument("--pes", type=int, default=512)
+    run_p.add_argument(
+        "--mapping",
+        default="rom",
+        choices=["rom", "som", "dom", "rom-torus"],
+    )
+    run_p.add_argument("--registers", type=int, default=16,
+                       help="aggregation pipeline registers")
+    run_p.add_argument("--window", type=int, default=16,
+                       help="degree-aware scheduling window")
+    run_p.add_argument("--no-pipelining", action="store_true")
+    run_p.add_argument("--verbose", "-v", action="store_true",
+                       help="per-iteration breakdown")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+
+    cmp_p = sub.add_parser(
+        "compare", help="run every compared system on one workload"
+    )
+    add_workload_args(cmp_p)
+
+    sweep_p = sub.add_parser("sweep", help="PE-count scaling sweep")
+    add_workload_args(sweep_p)
+    sweep_p.add_argument(
+        "--pes",
+        type=int,
+        nargs="+",
+        default=[32, 64, 128, 256, 512, 1024],
+    )
+
+    sub.add_parser("datasets", help="list the dataset registry")
+    return parser
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    graph = load_benchmark_graph(
+        args.dataset, args.algorithm, args.scale_shift
+    )
+    program = make_algorithm(args.algorithm)
+    config = ScalaGraphConfig(
+        mapping=args.mapping,
+        aggregation_registers=args.registers,
+        degree_aware_window=args.window,
+        inter_phase_pipelining=not args.no_pipelining,
+    ).with_pes(args.pes)
+    report = ScalaGraph(config, enforce_capacity=(args.mapping != "dom")).run(
+        program, graph, max_iterations=args.max_iterations
+    )
+    if args.json:
+        print(report.to_json(indent=2), file=out)
+        return 0
+    print(report.summary(), file=out)
+    print(
+        f"  partitions={report.num_partitions} "
+        f"noc_messages={report.total_noc_messages:,} "
+        f"coalesced={report.total_coalesced:,} "
+        f"offchip={report.total_offchip_bytes / 1e6:.1f} MB "
+        f"power={report.power_watts:.1f} W "
+        f"energy={report.energy_joules * 1e3:.2f} mJ",
+        file=out,
+    )
+    if args.verbose:
+        rows = [
+            [
+                it.index,
+                it.num_active,
+                it.num_edges,
+                it.scatter_cycles,
+                it.apply_cycles,
+                it.overlap_cycles,
+                it.scatter_bottleneck,
+            ]
+            for it in report.iterations
+        ]
+        print(
+            format_table(
+                [
+                    "iter",
+                    "active",
+                    "edges",
+                    "scatter cyc",
+                    "apply cyc",
+                    "overlap",
+                    "bottleneck",
+                ],
+                rows,
+                float_fmt="{:.0f}",
+            ),
+            file=out,
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace, out) -> int:
+    graph = load_benchmark_graph(
+        args.dataset, args.algorithm, args.scale_shift
+    )
+    program = make_algorithm(args.algorithm)
+    reference = run_reference(program, graph, args.max_iterations)
+    rows = []
+    for label in SYSTEM_BUILDERS:
+        report = build_system(label).run(
+            program, graph, reference=reference
+        )
+        rows.append(
+            [
+                label,
+                report.gteps,
+                f"{report.frequency_mhz:.0f}",
+                f"{report.pe_utilization:.1%}",
+                report.energy_joules * 1e3,
+            ]
+        )
+    print(
+        format_table(
+            ["System", "GTEPS", "MHz", "util", "energy (mJ)"],
+            rows,
+            title=f"{args.algorithm} on {graph.name} "
+            f"({graph.num_edges:,} edges)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    graph = load_benchmark_graph(
+        args.dataset, args.algorithm, args.scale_shift
+    )
+    program = make_algorithm(args.algorithm)
+    reference = run_reference(program, graph, args.max_iterations)
+    rows = []
+    for pes in args.pes:
+        report = ScalaGraph(ScalaGraphConfig().with_pes(pes)).run(
+            program, graph, reference=reference
+        )
+        rows.append(
+            [pes, report.gteps, f"{report.pe_utilization:.1%}"]
+        )
+    print(
+        format_table(
+            ["PEs", "GTEPS", "util"],
+            rows,
+            title=f"ScalaGraph scaling: {args.algorithm} on {graph.name}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace, out) -> int:
+    rows = [
+        [
+            spec.key,
+            spec.full_name,
+            f"{spec.paper_vertices:,}",
+            f"{spec.paper_edges:,}",
+            spec.standin_vertices,
+            spec.standin_edges,
+            spec.description,
+        ]
+        for spec in DATASETS.values()
+    ]
+    print(
+        format_table(
+            [
+                "Code",
+                "Name",
+                "|V| paper",
+                "|E| paper",
+                "|V| stand-in",
+                "|E| stand-in",
+                "Description",
+            ],
+            rows,
+            title="Dataset registry (Tables I/III)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "datasets": cmd_datasets,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,356 @@
+"""Cycle-accurate single-tile simulator.
+
+Where :class:`~repro.core.accelerator.ScalaGraph` computes analytic
+bounds and :class:`~repro.core.functional.FunctionalScalaGraph` checks
+functional equivalence, this simulator advances a whole tile **cycle by
+cycle**: every cycle each row's dispatching unit issues one line of edge
+workloads (degree-aware packing, Section IV-C), every GU processes one
+workload, every RU offers its update to its aggregation pipeline and
+injects at most one surviving update into the mesh (Section IV-B), the
+routers move flits under XY routing with backpressure, and every SPD
+slice retires one Reduce per cycle.
+
+It exists to validate the analytic timing model: tests check that on
+small graphs the two models' Scatter-phase cycle counts agree within a
+small factor, and that the architecture still computes exactly the
+Figure 1 result.  Pure Python, O(cycles x PEs): use graphs of up to a
+few thousand edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import ProgramContext, VertexProgram
+from repro.algorithms.reference import gather_frontier_edges
+from repro.core.config import ScalaGraphConfig
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.mapping import make_mapping
+from repro.noc.aggregation import AggregationPipeline
+from repro.noc.mesh import MeshNetwork
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology
+
+
+@dataclass
+class CycleStats:
+    """Cycle-level accounting of one run."""
+
+    total_cycles: int = 0
+    scatter_cycles: List[int] = field(default_factory=list)
+    apply_cycles: List[int] = field(default_factory=list)
+    updates_processed: int = 0
+    updates_coalesced: int = 0
+    noc_hops: int = 0
+    spd_reduces: int = 0
+    dispatch_lines: int = 0
+    iterations: int = 0
+
+
+@dataclass
+class CycleResult:
+    properties: np.ndarray
+    stats: CycleStats
+    converged: bool
+
+
+class _RowDispatcher:
+    """One DU: packs a row's edge workloads into per-cycle lines.
+
+    Workloads arrive grouped by vertex; each cycle the DU emits at most
+    ``line_width`` edges drawn from at most ``window`` distinct vertices
+    at the head of its queue (Section IV-C's degree-aware packing).
+    """
+
+    def __init__(self, line_width: int, window: int) -> None:
+        self.line_width = line_width
+        self.window = window
+        # Queue of per-vertex edge lists: (vertex, deque of edge indices).
+        self.queue: Deque[Tuple[int, Deque[int]]] = deque()
+
+    def push_vertex(self, vertex: int, edge_indices: np.ndarray) -> None:
+        if edge_indices.size:
+            self.queue.append((vertex, deque(int(e) for e in edge_indices)))
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.queue)
+
+    def issue_line(self) -> List[int]:
+        """Edges dispatched this cycle (possibly empty)."""
+        line: List[int] = []
+        vertices_used = 0
+        while (
+            self.queue
+            and len(line) < self.line_width
+            and vertices_used < self.window
+        ):
+            vertex, edges = self.queue[0]
+            while edges and len(line) < self.line_width:
+                line.append(edges.popleft())
+            if edges:
+                break  # line full mid-vertex; resume next cycle
+            self.queue.popleft()
+            vertices_used += 1
+        return line
+
+
+class CycleAccurateScalaGraph:
+    """A single-tile, cycle-driven ScalaGraph model."""
+
+    def __init__(self, config: Optional[ScalaGraphConfig] = None) -> None:
+        self.config = config or ScalaGraphConfig(
+            num_tiles=1, pe_rows=4, pe_cols=4
+        )
+        self.topology = MeshTopology(
+            rows=self.config.pe_rows, cols=self.config.total_cols
+        )
+        self.mapping = make_mapping(self.config.mapping, self.topology)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: VertexProgram,
+        graph: CSRGraph,
+        max_iterations: Optional[int] = None,
+        max_cycles_per_phase: int = 2_000_000,
+    ) -> CycleResult:
+        ctx = ProgramContext(graph=graph)
+        program.validate(ctx)
+        props = program.initial_properties(ctx)
+        active = np.asarray(program.initial_active(ctx), dtype=np.int64)
+        limit = (
+            max_iterations
+            if max_iterations is not None
+            else program.max_iterations(ctx)
+        )
+        stats = CycleStats()
+
+        iteration = 0
+        while active.size and iteration < limit:
+            vtemp = np.full(
+                graph.num_vertices, program.reduce_identity, dtype=np.float64
+            )
+            cycles = self._scatter_phase(
+                program, ctx, graph, active, props, vtemp,
+                stats, max_cycles_per_phase,
+            )
+            stats.scatter_cycles.append(cycles)
+
+            # Apply: every touched slice applies one vertex per cycle.
+            touched = np.flatnonzero(vtemp != program.reduce_identity)
+            if program.all_active:
+                touched = np.arange(graph.num_vertices, dtype=np.int64)
+            apply_cycles = self._apply_cycles(touched)
+            stats.apply_cycles.append(apply_cycles)
+
+            new_props = program.apply_values(ctx, props, vtemp)
+            updated = program.is_updated(props, new_props)
+            props = new_props
+            active = (
+                np.arange(graph.num_vertices, dtype=np.int64)
+                if (program.all_active and np.any(updated))
+                else np.flatnonzero(updated).astype(np.int64)
+            )
+            iteration += 1
+
+        stats.iterations = iteration
+        stats.total_cycles = sum(stats.scatter_cycles) + sum(
+            stats.apply_cycles
+        )
+        return CycleResult(
+            properties=props, stats=stats, converged=active.size == 0
+        )
+
+    # ------------------------------------------------------------------
+    # Scatter: the cycle loop
+    # ------------------------------------------------------------------
+    def _scatter_phase(
+        self,
+        program: VertexProgram,
+        ctx: ProgramContext,
+        graph: CSRGraph,
+        active: np.ndarray,
+        props: np.ndarray,
+        vtemp: np.ndarray,
+        stats: CycleStats,
+        max_cycles: int,
+    ) -> int:
+        cfg = self.config
+        src, dst, weights = gather_frontier_edges(graph, active)
+        if src.size == 0:
+            return 0
+        values = program.scatter_value(ctx, src, weights, props[src])
+        exec_pe = self.mapping.execution_pe(src, dst)
+        home_pe = self.mapping.home(dst)
+        reduce_ufunc = program.reduce_ufunc
+        reduce_fn = lambda a, b: float(reduce_ufunc(a, b))
+
+        # Fill each row's dispatcher with its vertices' edge groups:
+        # ROM/SOM stream a vertex's out-edges to its home row; DOM's
+        # per-partition CSR groups edges by destination instead.
+        from repro.mapping.destination_oriented import (
+            DestinationOrientedMapping,
+        )
+
+        dispatchers = [
+            _RowDispatcher(self.topology.cols, cfg.degree_aware_window)
+            for _ in range(self.topology.rows)
+        ]
+        group = (
+            dst
+            if isinstance(self.mapping, DestinationOrientedMapping)
+            else src
+        )
+        order = np.argsort(group, kind="stable")
+        sorted_group = group[order]
+        boundaries = np.flatnonzero(
+            np.diff(np.concatenate([[-1], sorted_group]))
+        )
+        for i, start in enumerate(boundaries):
+            stop = (
+                boundaries[i + 1] if i + 1 < len(boundaries) else order.size
+            )
+            vertex = int(sorted_group[start])
+            row = int(
+                self.topology.rows_of(self.mapping.home(np.int64(vertex)))
+            )
+            dispatchers[row].push_vertex(vertex, order[start:stop])
+
+        # Per-PE aggregation pipelines and outgoing FIFOs.
+        registers = cfg.aggregation_registers
+        pipelines: Dict[int, AggregationPipeline] = {}
+        out_fifos: List[Deque[Tuple[int, float]]] = [
+            deque() for _ in range(self.topology.num_nodes)
+        ]
+        spd_fifos: List[Deque[Tuple[int, float]]] = [
+            deque() for _ in range(self.topology.num_nodes)
+        ]
+        network = MeshNetwork(self.topology, buffer_depth=4)
+
+        def pipeline_for(pe: int) -> Optional[AggregationPipeline]:
+            if registers <= 0:
+                return None
+            pipe = pipelines.get(pe)
+            if pipe is None:
+                stages = max(registers // 4, 1)
+                cols = max(registers // stages, 1)
+                pipe = AggregationPipeline(
+                    num_stages=stages, num_columns=cols, reduce_fn=reduce_fn
+                )
+                pipelines[pe] = pipe
+            return pipe
+
+        pending_updates = 0
+        cycle = 0
+        edges_remaining = int(src.size)
+        while True:
+            progressed = False
+
+            # 1. Dispatch: one line per row per cycle; each edge's GU
+            #    produces its update in the same cycle (pipelined).
+            for dispatcher in dispatchers:
+                line = dispatcher.issue_line()
+                if not line:
+                    continue
+                progressed = True
+                stats.dispatch_lines += 1
+                edges_remaining -= len(line)
+                for edge in line:
+                    pe = int(exec_pe[edge])
+                    vertex = int(dst[edge])
+                    value = float(values[edge])
+                    pipe = pipeline_for(pe)
+                    if pipe is None:
+                        out_fifos[pe].append((vertex, value))
+                        pending_updates += 1
+                        continue
+                    outcome = pipe.offer(vertex, value)
+                    if outcome == "coalesced":
+                        stats.updates_coalesced += 1
+                    elif outcome == "rejected":
+                        evicted = pipe.emit(column=pipe.column_of(vertex))
+                        if evicted is not None:
+                            out_fifos[pe].append(evicted)
+                            pending_updates += 1
+                        if pipe.offer(vertex, value) == "rejected":
+                            raise SimulationError("aggregation stuck")
+
+            # 2. RU egress: each PE emits one update per cycle — from its
+            #    FIFO first, then by draining its pipeline once dispatch
+            #    for the phase is done.
+            drain_pipelines = all(not d.busy for d in dispatchers)
+            for pe in range(self.topology.num_nodes):
+                item = None
+                if out_fifos[pe]:
+                    item = out_fifos[pe].popleft()
+                    pending_updates -= 1
+                elif drain_pipelines and pe in pipelines:
+                    item = pipelines[pe].emit()
+                if item is None:
+                    continue
+                progressed = True
+                vertex, value = item
+                target = int(self.mapping.home(np.int64(vertex)))
+                if target == pe:
+                    spd_fifos[pe].append((vertex, value))
+                else:
+                    if not network.inject(
+                        Packet(src=pe, dst=target, vertex=vertex, value=value)
+                    ):
+                        # Backpressure: requeue and retry next cycle.
+                        out_fifos[pe].appendleft((vertex, value))
+                        pending_updates += 1
+
+            # 3. NoC: one router cycle; deliveries feed the SPD FIFOs.
+            before = len(network.delivered)
+            network.step()
+            for packet in network.delivered[before:]:
+                spd_fifos[packet.dst].append((packet.vertex, packet.value))
+            if len(network.delivered) != before or any(
+                r.occupancy() for r in network.routers
+            ):
+                progressed = True
+
+            # 4. SPD: one Reduce per slice per cycle.
+            for pe in range(self.topology.num_nodes):
+                if spd_fifos[pe]:
+                    vertex, value = spd_fifos[pe].popleft()
+                    vtemp[vertex] = reduce_ufunc(vtemp[vertex], value)
+                    stats.spd_reduces += 1
+                    progressed = True
+
+            cycle += 1
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"scatter phase did not drain in {max_cycles} cycles"
+                )
+
+            if (
+                not progressed
+                and edges_remaining == 0
+                and pending_updates == 0
+                and not any(pipelines[p].occupancy() for p in pipelines)
+                and not any(spd_fifos)
+                and not any(r.occupancy() for r in network.routers)
+            ):
+                break
+
+        stats.updates_processed += int(src.size)
+        stats.noc_hops += network.stats.total_hops
+        return cycle
+
+    def _apply_cycles(self, touched: np.ndarray) -> int:
+        if touched.size == 0:
+            return 0
+        loads = np.bincount(
+            self.mapping.home(touched), minlength=self.topology.num_nodes
+        )
+        return int(loads.max())

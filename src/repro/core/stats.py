@@ -1,0 +1,218 @@
+"""Simulation statistics and the run report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PhaseCycles:
+    """Cycle breakdown of one Scatter phase, one bound per mechanism.
+
+    The phase's cycle count is the maximum of the four bounds plus fixed
+    overheads — the timing model mirrors the paper's bottleneck analysis
+    (Section II-C: on-chip scalability vs off-chip bandwidth).
+    """
+
+    compute: float
+    noc: float
+    spd: float
+    memory: float
+    overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return max(self.compute, self.noc, self.spd, self.memory) + self.overhead
+
+    @property
+    def bottleneck(self) -> str:
+        bounds = {
+            "compute": self.compute,
+            "noc": self.noc,
+            "spd": self.spd,
+            "memory": self.memory,
+        }
+        return max(bounds, key=bounds.get)
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration accounting."""
+
+    index: int
+    num_active: int
+    num_edges: int
+    scatter_cycles: float
+    apply_cycles: float
+    overlap_cycles: float = 0.0  # hidden by inter-phase pipelining
+    noc_messages: int = 0
+    noc_hops: int = 0
+    coalesced_updates: int = 0
+    offchip_bytes: float = 0.0
+    scatter_bottleneck: str = "compute"
+
+    @property
+    def cycles(self) -> float:
+        return self.scatter_cycles + self.apply_cycles - self.overlap_cycles
+
+
+@dataclass
+class SimulationReport:
+    """Result of running one algorithm on one accelerator model.
+
+    The functional outcome (``properties``) comes from the reference
+    engine; everything else is the timing model's accounting.
+    """
+
+    accelerator: str
+    algorithm: str
+    graph_name: str
+    num_pes: int
+    frequency_mhz: float
+    num_vertices: int
+    num_edges: int
+    total_edges_traversed: int
+    total_cycles: float
+    iterations: List[IterationStats] = field(default_factory=list)
+    properties: Optional[np.ndarray] = None
+    num_partitions: int = 1
+    power_watts: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / (self.frequency_mhz * 1e6)
+
+    @property
+    def gteps(self) -> float:
+        """Giga-traversed-edges per second (the Figure 14 metric)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.total_edges_traversed / self.seconds / 1e9
+
+    @property
+    def pe_utilization(self) -> float:
+        """Ideal compute cycles over actual cycles (the Figure 20
+        metric): 1.0 means every PE processed an edge every cycle."""
+        if self.total_cycles == 0:
+            return 0.0
+        ideal = self.total_edges_traversed / self.num_pes
+        return min(ideal / self.total_cycles, 1.0)
+
+    @property
+    def scatter_utilization(self) -> float:
+        """PE busy fraction during Scatter compute (the Figure 20
+        metric): ideal edge-processing cycles over the cycles the
+        dispatch/compute path actually took, excluding memory and NoC
+        stall time.  Falls back to :attr:`pe_utilization` when the model
+        did not record compute-bound cycles."""
+        compute = self.extra.get("scatter_compute_cycles", 0.0)
+        if compute <= 0:
+            return self.pe_utilization
+        ideal = self.total_edges_traversed / self.num_pes
+        return min(ideal / compute, 1.0)
+
+    @property
+    def energy_joules(self) -> Optional[float]:
+        if self.power_watts is None:
+            return None
+        return self.power_watts * self.seconds
+
+    @property
+    def total_noc_messages(self) -> int:
+        return sum(i.noc_messages for i in self.iterations)
+
+    @property
+    def total_noc_hops(self) -> int:
+        return sum(i.noc_hops for i in self.iterations)
+
+    @property
+    def total_coalesced(self) -> int:
+        return sum(i.coalesced_updates for i in self.iterations)
+
+    @property
+    def total_offchip_bytes(self) -> float:
+        return sum(i.offchip_bytes for i in self.iterations)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.accelerator} | {self.algorithm} on {self.graph_name}: "
+            f"{self.gteps:.2f} GTEPS, {self.total_cycles:,.0f} cycles "
+            f"@ {self.frequency_mhz:.0f} MHz, "
+            f"util {self.pe_utilization:.1%}, "
+            f"{len(self.iterations)} iterations"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self, include_iterations: bool = True) -> Dict:
+        """A JSON-serialisable view of this report.
+
+        Gold properties are summarised (count + checksum) rather than
+        embedded; re-run the reference engine to regenerate them.
+        """
+        data = {
+            "accelerator": self.accelerator,
+            "algorithm": self.algorithm,
+            "graph": self.graph_name,
+            "num_pes": self.num_pes,
+            "frequency_mhz": self.frequency_mhz,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "total_edges_traversed": self.total_edges_traversed,
+            "total_cycles": self.total_cycles,
+            "seconds": self.seconds,
+            "gteps": self.gteps,
+            "pe_utilization": self.pe_utilization,
+            "scatter_utilization": self.scatter_utilization,
+            "num_partitions": self.num_partitions,
+            "power_watts": self.power_watts,
+            "energy_joules": self.energy_joules,
+            "noc_messages": self.total_noc_messages,
+            "noc_hops": self.total_noc_hops,
+            "coalesced_updates": self.total_coalesced,
+            "offchip_bytes": self.total_offchip_bytes,
+            "extra": dict(self.extra),
+        }
+        if self.properties is not None:
+            data["properties_summary"] = {
+                "count": int(self.properties.size),
+                "finite_sum": float(
+                    np.sum(self.properties[np.isfinite(self.properties)])
+                ),
+            }
+        if include_iterations:
+            data["iterations"] = [
+                {
+                    "index": it.index,
+                    "active": it.num_active,
+                    "edges": it.num_edges,
+                    "scatter_cycles": it.scatter_cycles,
+                    "apply_cycles": it.apply_cycles,
+                    "overlap_cycles": it.overlap_cycles,
+                    "noc_messages": it.noc_messages,
+                    "noc_hops": it.noc_hops,
+                    "coalesced": it.coalesced_updates,
+                    "offchip_bytes": it.offchip_bytes,
+                    "bottleneck": it.scatter_bottleneck,
+                }
+                for it in self.iterations
+            ]
+        return data
+
+    def to_json(self, include_iterations: bool = True, **dumps_kwargs) -> str:
+        """JSON string of :meth:`to_dict`."""
+        import json
+
+        return json.dumps(
+            self.to_dict(include_iterations=include_iterations),
+            **dumps_kwargs,
+        )

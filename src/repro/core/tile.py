@@ -1,0 +1,66 @@
+"""Tile composition (Section III-A, Figure 7).
+
+A ScalaGraph instance is a set of tiles; each tile owns one private HBM
+stack, a prefetcher module (one prefetcher per pseudo channel), a
+dispatcher module (one dispatching unit per PE row), and a PE matrix.
+The row-oriented mapping treats the tiles' matrices as one logical mesh
+with the tiles laid side by side (Section V-C: ROM dispatches edge
+workloads to the rows of both tiles), which is how
+:class:`~repro.core.config.ScalaGraphConfig.total_cols` is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import ScalaGraphConfig
+from repro.noc.topology import MeshTopology
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile's geometry and bindings.
+
+    Attributes:
+        index: tile position.
+        rows: PE-matrix rows (16 in the paper).
+        cols: PE-matrix columns.
+        hbm_stack: index of the private HBM stack.
+        num_dispatch_units: one DU (VDU + EDU pair) per row.
+        num_prefetchers: one per HBM pseudo channel of the stack.
+        col_offset: first column of this tile in the logical mesh.
+    """
+
+    index: int
+    rows: int
+    cols: int
+    hbm_stack: int
+    num_dispatch_units: int
+    num_prefetchers: int
+    col_offset: int
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    def topology(self) -> MeshTopology:
+        """The tile's private mesh."""
+        return MeshTopology(rows=self.rows, cols=self.cols)
+
+
+def build_tiles(config: ScalaGraphConfig) -> List[Tile]:
+    """Instantiate the tile layout of a configuration."""
+    channels_per_stack = config.hbm.pseudo_channels_per_stack
+    return [
+        Tile(
+            index=i,
+            rows=config.pe_rows,
+            cols=config.pe_cols,
+            hbm_stack=i % config.hbm.num_stacks,
+            num_dispatch_units=config.pe_rows,
+            num_prefetchers=channels_per_stack,
+            col_offset=i * config.pe_cols,
+        )
+        for i in range(config.num_tiles)
+    ]

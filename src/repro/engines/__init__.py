@@ -1,0 +1,18 @@
+"""Alternative execution engines.
+
+The paper's Figure 1 model is bulk-synchronous (Scatter then Apply).
+GraphPulse [24] — a system the paper compares against — is
+*event-driven*: vertex updates are in-flight events in a big on-chip
+queue that coalesces same-vertex events, and processing is asynchronous.
+:mod:`repro.engines.event_driven` implements that execution model
+functionally; :class:`repro.baselines.GraphPulse` wraps it in a timing
+model.
+"""
+
+from repro.engines.event_driven import (
+    EventDrivenEngine,
+    EventRunResult,
+    EventStats,
+)
+
+__all__ = ["EventDrivenEngine", "EventRunResult", "EventStats"]

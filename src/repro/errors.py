@@ -1,0 +1,30 @@
+"""Exception hierarchy for the ScalaGraph reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(ReproError):
+    """An input graph is malformed (bad CSR arrays, negative IDs, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """An accelerator/NoC configuration is invalid or unsupported."""
+
+
+class SynthesisError(ReproError):
+    """A hardware configuration fails to synthesise (route failure).
+
+    Mirrors the paper's observation that crossbar-based designs beyond a
+    PE-count limit cannot be placed and routed on the FPGA at all
+    (Section II-B, Table IV: '-').
+    """
+
+
+class CapacityError(ReproError):
+    """On-chip storage (SPD, replica store) cannot hold the working set."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an inconsistent state."""

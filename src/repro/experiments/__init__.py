@@ -1,0 +1,54 @@
+"""Experiment harness shared by ``benchmarks/`` and ``examples/``.
+
+Provides the system registry (build any of the paper's compared systems
+by its figure label), a matrix runner that shares one functional
+reference execution across all systems, and plain-text table/series
+formatters that print rows in the shape of the paper's tables and
+figures.
+"""
+
+from repro.experiments.breakdown import (
+    bar_chart,
+    bottleneck_histogram,
+    compare_reports,
+    describe,
+    phase_shares,
+)
+from repro.experiments.runner import (
+    ALGORITHM_ORDER,
+    GRAPH_ORDER,
+    SYSTEM_BUILDERS,
+    ExperimentMatrix,
+    build_system,
+    geometric_mean,
+    load_benchmark_graph,
+    run_matrix,
+)
+from repro.experiments.store import (
+    compare_to_saved,
+    load_matrix_summaries,
+    save_matrix,
+)
+from repro.experiments.tables import format_series, format_table, normalize
+
+__all__ = [
+    "ALGORITHM_ORDER",
+    "GRAPH_ORDER",
+    "SYSTEM_BUILDERS",
+    "ExperimentMatrix",
+    "build_system",
+    "geometric_mean",
+    "load_benchmark_graph",
+    "run_matrix",
+    "format_series",
+    "format_table",
+    "normalize",
+    "bar_chart",
+    "bottleneck_histogram",
+    "compare_reports",
+    "describe",
+    "phase_shares",
+    "compare_to_saved",
+    "load_matrix_summaries",
+    "save_matrix",
+]

@@ -1,0 +1,166 @@
+"""System registry and matrix runner for the paper's experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.base import VertexProgram
+from repro.algorithms.reference import ReferenceResult, run_reference
+from repro.baselines import GraphDynS, Gunrock
+from repro.core import ScalaGraph, ScalaGraphConfig
+from repro.core.stats import SimulationReport
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+
+#: Orders used by the paper's figures.
+GRAPH_ORDER: Tuple[str, ...] = DATASET_ORDER
+ALGORITHM_ORDER: Tuple[str, ...] = ("bfs", "sssp", "cc", "pagerank")
+
+#: The systems of Figure 14/15, by their figure labels.
+SYSTEM_BUILDERS: Dict[str, Callable[[], object]] = {
+    "Gunrock": Gunrock,
+    "GraphDynS-128": GraphDynS.with_128_pes,
+    "GraphDynS-512": GraphDynS.with_512_pes,
+    "ScalaGraph-128": lambda: ScalaGraph(ScalaGraphConfig(pe_cols=4)),
+    "ScalaGraph-512": lambda: ScalaGraph(ScalaGraphConfig()),
+}
+
+SYSTEM_ORDER: Tuple[str, ...] = tuple(SYSTEM_BUILDERS)
+
+
+def build_system(label: str):
+    """Instantiate a compared system by its figure label."""
+    if label not in SYSTEM_BUILDERS:
+        raise KeyError(
+            f"unknown system {label!r}; known: {sorted(SYSTEM_BUILDERS)}"
+        )
+    return SYSTEM_BUILDERS[label]()
+
+
+#: Algorithms that read edge weights (Section V-A weights SSSP's graphs;
+#: the SSWP/SpMV extensions need them too).
+WEIGHTED_ALGORITHMS = frozenset({"sssp", "sswp", "spmv"})
+
+
+def load_benchmark_graph(
+    name: str, algorithm: str, scale_shift: int = 0
+) -> CSRGraph:
+    """A dataset stand-in, weighted when the algorithm needs it."""
+    return load_dataset(
+        name,
+        scale_shift=scale_shift,
+        weighted=(algorithm.lower() in WEIGHTED_ALGORITHMS),
+    )
+
+
+@dataclass
+class ExperimentMatrix:
+    """Results of a (graph x algorithm x system) sweep.
+
+    ``reports[(graph, algorithm, system)]`` holds the full
+    :class:`SimulationReport`; helper methods slice it the way the
+    paper's figures do.
+    """
+
+    reports: Dict[Tuple[str, str, str], SimulationReport] = field(
+        default_factory=dict
+    )
+
+    def gteps(self, graph: str, algorithm: str, system: str) -> float:
+        return self.reports[(graph, algorithm, system)].gteps
+
+    def systems(self) -> List[str]:
+        seen: List[str] = []
+        for _, _, system in self.reports:
+            if system not in seen:
+                seen.append(system)
+        return seen
+
+    def cells(self) -> List[Tuple[str, str]]:
+        seen: List[Tuple[str, str]] = []
+        for graph, algorithm, _ in self.reports:
+            if (graph, algorithm) not in seen:
+                seen.append((graph, algorithm))
+        return seen
+
+    def speedup(self, numerator: str, denominator: str) -> float:
+        """Geometric-mean GTEPS ratio over all (graph, algorithm) cells."""
+        ratios = [
+            self.gteps(g, a, numerator) / self.gteps(g, a, denominator)
+            for g, a in self.cells()
+        ]
+        return geometric_mean(ratios)
+
+    def speedup_by_algorithm(
+        self, numerator: str, denominator: str
+    ) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for algorithm in {a for _, a in self.cells()}:
+            ratios = [
+                self.gteps(g, a, numerator) / self.gteps(g, a, denominator)
+                for g, a in self.cells()
+                if a == algorithm
+            ]
+            out[algorithm] = geometric_mean(ratios)
+        return out
+
+
+def run_matrix(
+    graphs: Sequence[str] = GRAPH_ORDER,
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+    systems: Sequence[str] = SYSTEM_ORDER,
+    scale_shift: int = 0,
+    max_iterations: Optional[int] = None,
+) -> ExperimentMatrix:
+    """Run every system on every (graph, algorithm) cell.
+
+    The functional reference execution is computed once per cell and
+    shared by all systems, so the sweep's cost is dominated by the
+    timing models.
+    """
+    matrix = ExperimentMatrix()
+    for graph_name in graphs:
+        for algorithm_name in algorithms:
+            graph = load_benchmark_graph(
+                graph_name, algorithm_name, scale_shift
+            )
+            program = make_algorithm(algorithm_name)
+            reference = run_reference(program, graph, max_iterations)
+            for system_label in systems:
+                system = build_system(system_label)
+                report = system.run(
+                    program, graph, reference=reference
+                )
+                matrix.reports[
+                    (graph_name, algorithm_name, system_label)
+                ] = report
+    return matrix
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional average for speedup ratios)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def run_single(
+    system_label: str,
+    graph_name: str,
+    algorithm_name: str,
+    scale_shift: int = 0,
+    program: Optional[VertexProgram] = None,
+    reference: Optional[ReferenceResult] = None,
+) -> SimulationReport:
+    """Run one cell (convenience for examples and tests)."""
+    graph = load_benchmark_graph(graph_name, algorithm_name, scale_shift)
+    prog = program or make_algorithm(algorithm_name)
+    system = build_system(system_label)
+    return system.run(prog, graph, reference=reference)

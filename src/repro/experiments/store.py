@@ -1,0 +1,91 @@
+"""Persistence for experiment results.
+
+Full sweeps take minutes; this module saves an
+:class:`~repro.experiments.runner.ExperimentMatrix`'s reports as JSON so
+analyses and regression comparisons can reload them without re-running
+(gold property arrays are summarised, not embedded — rerun the reference
+engine if you need them).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from repro.errors import ReproError
+from repro.experiments.runner import ExperimentMatrix
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_matrix(matrix: ExperimentMatrix, path: PathLike) -> None:
+    """Write a matrix's reports to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "cells": [
+            {
+                "graph": graph,
+                "algorithm": algorithm,
+                "system": system,
+                "report": report.to_dict(include_iterations=True),
+            }
+            for (graph, algorithm, system), report in matrix.reports.items()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_matrix_summaries(
+    path: PathLike,
+) -> Dict[Tuple[str, str, str], dict]:
+    """Load saved reports as plain dicts keyed like the matrix.
+
+    Returns summary dicts (not SimulationReport objects — the gold
+    properties are not persisted), suitable for plotting/regression
+    comparison.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot load experiment store {path}: {exc}") from exc
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported format version "
+            f"{payload.get('format_version')!r}"
+        )
+    out: Dict[Tuple[str, str, str], dict] = {}
+    for cell in payload["cells"]:
+        key = (cell["graph"], cell["algorithm"], cell["system"])
+        out[key] = cell["report"]
+    return out
+
+
+def compare_to_saved(
+    matrix: ExperimentMatrix,
+    path: PathLike,
+    metric: str = "gteps",
+    tolerance: float = 0.05,
+) -> Dict[Tuple[str, str, str], Tuple[float, float]]:
+    """Regression check: cells whose metric drifted beyond tolerance.
+
+    Returns ``{cell: (saved_value, current_value)}`` for every drifted
+    cell (empty dict = no regressions).
+    """
+    saved = load_matrix_summaries(path)
+    drifted = {}
+    for key, report in matrix.reports.items():
+        if key not in saved:
+            continue
+        old = float(saved[key][metric])
+        new = float(getattr(report, metric))
+        if old == 0:
+            if new != 0:
+                drifted[key] = (old, new)
+            continue
+        if abs(new - old) / abs(old) > tolerance:
+            drifted[key] = (old, new)
+    return drifted

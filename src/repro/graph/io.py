@@ -1,0 +1,167 @@
+"""Graph serialisation: text edge lists and binary CSR bundles."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, Path]
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write ``src dst [weight]`` lines (SNAP-compatible)."""
+    path = Path(path)
+    src = graph.edge_sources()
+    with path.open("w") as fh:
+        fh.write(f"# {graph.name}: {graph.num_vertices} vertices, "
+                 f"{graph.num_edges} edges\n")
+        if graph.weights is not None:
+            for s, d, w in zip(src, graph.indices, graph.weights):
+                fh.write(f"{s} {d} {w}\n")
+        else:
+            for s, d in zip(src, graph.indices):
+                fh.write(f"{s} {d}\n")
+
+
+def load_edge_list(
+    path: PathLike,
+    num_vertices: int | None = None,
+    name: str | None = None,
+) -> CSRGraph:
+    """Read a ``src dst [weight]`` text file into a CSR graph.
+
+    Lines starting with ``#`` are comments.  When ``num_vertices`` is not
+    given it is inferred as ``max(endpoint) + 1``.
+    """
+    path = Path(path)
+    srcs, dsts, weights = [], [], []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'src dst [weight]', got {line!r}"
+                )
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if len(parts) == 3:
+                weights.append(int(parts[2]))
+    if weights and len(weights) != len(srcs):
+        raise GraphFormatError(f"{path}: only some edges carry weights")
+    if num_vertices is None:
+        num_vertices = (max(max(srcs), max(dsts)) + 1) if srcs else 0
+    pairs = np.array(list(zip(srcs, dsts)), dtype=np.int64).reshape(-1, 2)
+    return CSRGraph.from_edges(
+        num_vertices,
+        pairs,
+        weights=np.array(weights, dtype=np.int64) if weights else None,
+        name=name or path.stem,
+    )
+
+
+def load_matrix_market(path: PathLike, name: str | None = None) -> CSRGraph:
+    """Read a MatrixMarket ``coordinate`` file as a directed graph.
+
+    Supports the ``general``/``symmetric`` pattern and real/integer
+    fields SuiteSparse graphs use; a symmetric matrix stores each
+    off-diagonal edge in both directions.  One-based indices are
+    converted to zero-based vertex IDs; entry values become integer edge
+    weights (rounded) when present.
+    """
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline().strip().lower()
+        if not header.startswith("%%matrixmarket matrix coordinate"):
+            raise GraphFormatError(
+                f"{path}: not a MatrixMarket coordinate file ({header!r})"
+            )
+        parts = header.split()
+        field = parts[3] if len(parts) > 3 else "pattern"
+        symmetry = parts[4] if len(parts) > 4 else "general"
+        if field not in ("pattern", "real", "integer"):
+            raise GraphFormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise GraphFormatError(
+                f"{path}: unsupported symmetry {symmetry!r}"
+            )
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            rows, cols, entries = (int(x) for x in line.split())
+        except ValueError as exc:
+            raise GraphFormatError(f"{path}: bad size line {line!r}") from exc
+
+        srcs, dsts, weights = [], [], []
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}: bad entry {line!r}")
+            i, j = int(parts[0]) - 1, int(parts[1]) - 1
+            w = (
+                int(round(float(parts[2])))
+                if field != "pattern" and len(parts) > 2
+                else 1
+            )
+            srcs.append(i)
+            dsts.append(j)
+            weights.append(w)
+            if symmetry == "symmetric" and i != j:
+                srcs.append(j)
+                dsts.append(i)
+                weights.append(w)
+        if len([s for s in srcs]) < entries:
+            raise GraphFormatError(
+                f"{path}: expected {entries} entries, found fewer"
+            )
+
+    num_vertices = max(rows, cols)
+    pairs = np.array(list(zip(srcs, dsts)), dtype=np.int64).reshape(-1, 2)
+    return CSRGraph.from_edges(
+        num_vertices,
+        pairs,
+        weights=(
+            np.array(weights, dtype=np.int64) if field != "pattern" else None
+        ),
+        name=name or path.stem,
+    )
+
+
+def save_csr(graph: CSRGraph, path: PathLike) -> None:
+    """Save a graph as a compressed ``.npz`` bundle plus metadata."""
+    path = Path(path)
+    arrays = {"indptr": graph.indptr, "indices": graph.indices}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    meta = json.dumps({"name": graph.name})
+    np.savez_compressed(path, meta=np.frombuffer(meta.encode(), dtype=np.uint8),
+                        **arrays)
+
+
+def load_csr(path: PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_csr`."""
+    path = Path(path)
+    with np.load(path) as bundle:
+        try:
+            indptr = bundle["indptr"]
+            indices = bundle["indices"]
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: missing CSR array {exc}") from exc
+        weights = bundle["weights"] if "weights" in bundle else None
+        name = "graph"
+        if "meta" in bundle:
+            name = json.loads(bytes(bundle["meta"]).decode()).get("name", name)
+    return CSRGraph(indptr=indptr, indices=indices, weights=weights, name=name)

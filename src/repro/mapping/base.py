@@ -1,0 +1,110 @@
+"""Mapping interface and shared traffic accounting."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.noc.topology import MeshTopology
+from repro.noc.traffic import LinkLoadReport
+
+
+def vertex_home(vertex_ids: np.ndarray, num_pes: int) -> np.ndarray:
+    """Home PE of each vertex property: the simple vertex-ID hash of
+    Section III-A ('evenly partitioned to all SPDs')."""
+    return np.asarray(vertex_ids, dtype=np.int64) % num_pes
+
+
+@dataclass(frozen=True)
+class MappingTraffic:
+    """On-chip traffic produced by one phase under one mapping.
+
+    Attributes:
+        num_messages: vertex updates injected into the NoC.
+        total_hops: link traversals — the paper's 'amount of on-chip
+            communications'.
+        link_report: per-link loads when the traffic uses the mesh
+            (None for crossbar/local traffic).
+    """
+
+    num_messages: int
+    total_hops: int
+    link_report: Optional[LinkLoadReport] = None
+
+    @property
+    def average_hops(self) -> float:
+        return self.total_hops / self.num_messages if self.num_messages else 0.0
+
+    @property
+    def max_link_load(self) -> int:
+        return self.link_report.max_link_load if self.link_report else 0
+
+
+class Mapping(abc.ABC):
+    """Places vertex properties and edge workloads on the PE matrix and
+    accounts the resulting NoC traffic."""
+
+    #: Paper abbreviation (som / dom / rom).
+    name: str = "mapping"
+
+    def __init__(self, topology: MeshTopology) -> None:
+        self.topology = topology
+
+    @property
+    def num_pes(self) -> int:
+        return self.topology.num_nodes
+
+    def home(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Node ID owning each vertex's property."""
+        return vertex_home(vertex_ids, self.num_pes)
+
+    # ------------------------------------------------------------------
+    # Phase traffic
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def scatter_traffic(
+        self, edge_src: np.ndarray, edge_dst: np.ndarray
+    ) -> MappingTraffic:
+        """NoC traffic of routing one Scatter phase's updates."""
+
+    @abc.abstractmethod
+    def apply_traffic(self, updated_vertices: np.ndarray) -> MappingTraffic:
+        """NoC traffic of the Apply phase for the updated vertex set."""
+
+    # ------------------------------------------------------------------
+    # Off-chip and storage accounting (Table II)
+    # ------------------------------------------------------------------
+    def offchip_bytes(
+        self,
+        num_active_vertices: int,
+        num_active_edges: int,
+        vertex_bytes: int = 8,
+        edge_bytes: int = 4,
+    ) -> int:
+        """Off-chip traffic per iteration: O(N + M) for SOM/ROM."""
+        return num_active_vertices * vertex_bytes + num_active_edges * edge_bytes
+
+    def replica_storage_vertices(self, num_vertices: int) -> int:
+        """Extra on-chip vertex replicas required (0 except for DOM)."""
+        return 0
+
+    def average_route_distance(self) -> float:
+        """Expected hop count of one remote update under this mapping —
+        the pipeline-fill latency the timing model charges per phase.
+        SOM routes both dimensions; overridden by subclasses."""
+        return self.topology.average_distance()
+
+    # ------------------------------------------------------------------
+    # Where work executes (consumed by the load-balance model)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def execution_pe(
+        self, edge_src: np.ndarray, edge_dst: np.ndarray
+    ) -> np.ndarray:
+        """Node ID whose GU executes the Process function of each edge."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.topology!r})"

@@ -1,0 +1,112 @@
+"""HBM pseudo-channel interleaving and channel-load accounting.
+
+Each prefetcher binds to one HBM pseudo channel (Section III-A), and the
+memory system only delivers its aggregate bandwidth when the address
+stream spreads evenly over the channels.  Addresses interleave at a
+fixed granularity (256 B on the U280's HBM subsystem); this module maps
+address ranges to channels and computes the channel-imbalance bound a
+skewed stream pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memory.hbm import HBMConfig
+
+
+@dataclass(frozen=True)
+class ChannelLoadReport:
+    """Bytes each pseudo channel serves for one access batch."""
+
+    bytes_per_channel: np.ndarray
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.bytes_per_channel.sum())
+
+    @property
+    def max_channel_bytes(self) -> float:
+        return float(self.bytes_per_channel.max()) if self.bytes_per_channel.size else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Busiest channel over the mean (1.0 = perfectly interleaved)."""
+        mean = self.bytes_per_channel.mean() if self.bytes_per_channel.size else 0.0
+        if mean == 0:
+            return 1.0
+        return self.max_channel_bytes / float(mean)
+
+
+class ChannelInterleaver:
+    """Address-to-pseudo-channel mapping at a fixed granularity."""
+
+    def __init__(
+        self, config: HBMConfig | None = None, granularity: int = 256
+    ) -> None:
+        if granularity <= 0:
+            raise ConfigurationError("granularity must be positive")
+        self.config = config or HBMConfig()
+        self.granularity = granularity
+
+    @property
+    def num_channels(self) -> int:
+        return self.config.num_pseudo_channels
+
+    def channel_of(self, addresses: np.ndarray) -> np.ndarray:
+        """Pseudo channel serving each byte address."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size and addresses.min() < 0:
+            raise ConfigurationError("addresses must be non-negative")
+        return (addresses // self.granularity) % self.num_channels
+
+    def stream_report(self, start: int, num_bytes: int) -> ChannelLoadReport:
+        """Channel loads of one contiguous stream.
+
+        A long sequential stream covers all channels nearly evenly —
+        which is why ScalaGraph's sequential edge access achieves the
+        aggregate bandwidth.
+        """
+        if num_bytes < 0 or start < 0:
+            raise ConfigurationError("stream must be non-negative")
+        loads = np.zeros(self.num_channels, dtype=np.float64)
+        if num_bytes == 0:
+            return ChannelLoadReport(loads)
+        first = start // self.granularity
+        last = (start + num_bytes - 1) // self.granularity
+        blocks = np.arange(first, last + 1, dtype=np.int64)
+        sizes = np.full(blocks.size, float(self.granularity))
+        sizes[0] = min(
+            (first + 1) * self.granularity - start, num_bytes
+        )
+        if blocks.size > 1:
+            sizes[-1] = start + num_bytes - last * self.granularity
+        np.add.at(loads, blocks % self.num_channels, sizes)
+        return ChannelLoadReport(loads)
+
+    def access_report(
+        self, addresses: np.ndarray, bytes_per_access: int = 64
+    ) -> ChannelLoadReport:
+        """Channel loads of scattered accesses (one line each)."""
+        if bytes_per_access <= 0:
+            raise ConfigurationError("bytes_per_access must be positive")
+        loads = np.zeros(self.num_channels, dtype=np.float64)
+        channels = self.channel_of(np.asarray(addresses))
+        if channels.size:
+            np.add.at(loads, channels, float(bytes_per_access))
+        return ChannelLoadReport(loads)
+
+    def effective_cycles(
+        self, report: ChannelLoadReport, frequency_hz: float
+    ) -> float:
+        """Cycles to serve a batch given per-channel bandwidth: the
+        busiest channel finishes last."""
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        channel_bytes_per_cycle = (
+            self.config.bandwidth_per_channel_gbs * 1e9 / frequency_hz
+        )
+        return report.max_channel_bytes / channel_bytes_per_cycle

@@ -1,0 +1,36 @@
+"""Hardware models: synthesis frequency, power/energy, FPGA resources.
+
+The authors' numbers come from Vivado synthesis and on-board power
+queries; here they are replaced by analytic models calibrated on every
+datapoint the paper publishes (Table IV, Figures 4a, 8, 15, 16), with
+complexity-law extrapolation between and beyond those points.
+"""
+
+from repro.models.frequency import (
+    Interconnect,
+    max_frequency_mhz,
+    route_failure_limit,
+    synthesizes,
+)
+from repro.models.energy import (
+    ComponentPower,
+    POWER_BREAKDOWN,
+    accelerator_power_watts,
+    energy_joules,
+    gpu_power_watts,
+)
+from repro.models.area import ResourceUtilization, resource_utilization
+
+__all__ = [
+    "Interconnect",
+    "max_frequency_mhz",
+    "route_failure_limit",
+    "synthesizes",
+    "ComponentPower",
+    "POWER_BREAKDOWN",
+    "accelerator_power_watts",
+    "energy_joules",
+    "gpu_power_watts",
+    "ResourceUtilization",
+    "resource_utilization",
+]

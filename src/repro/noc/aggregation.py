@@ -1,0 +1,228 @@
+"""Update aggregation: the Figure 11 register-array pipeline.
+
+Row-oriented mapping leaves routing conflicts within columns; ScalaGraph
+reduces them by *pre-executing the Reduce function* on in-flight updates
+(Section IV-B).  Each PE's routing unit carries a four-stage pipeline,
+each stage holding four registers sharing one reduce unit.  An incoming
+update is hashed to a register column and flows down the stages until it
+finds a matching vertex ID (coalesce) or an empty register (store); reads
+pop the first stage and shift the column up systolically.
+
+Two models live here:
+
+* :class:`AggregationPipeline` — a faithful cycle-level register array
+  used by unit tests and the detailed simulations.
+* :func:`window_coalesce_count` / :func:`window_coalesce` — the
+  statistical window model used by the at-scale timing simulations: with
+  ``R`` registers of residency an update coalesces iff the previous
+  update to the same vertex lies within the last ``R`` slots of the
+  stream.  This reproduces the Figure 18(a) register-count sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ReduceFn = Callable[[float, float], float]
+
+
+@dataclass
+class _Register:
+    vertex: int
+    value: float
+
+
+@dataclass
+class AggregationStats:
+    """Counters kept by the cycle-level pipeline."""
+
+    offered: int = 0
+    coalesced: int = 0
+    stored: int = 0
+    rejected: int = 0
+    emitted: int = 0
+
+    @property
+    def coalesce_rate(self) -> float:
+        return self.coalesced / self.offered if self.offered else 0.0
+
+
+class AggregationPipeline:
+    """The Figure 11 register array: ``num_stages x num_columns``.
+
+    The paper's default is 4 stages x 4 registers = 16 registers
+    (Section V-C: "Consider hardware complexity, we use 16 registers by
+    default").
+    """
+
+    def __init__(
+        self,
+        num_stages: int = 4,
+        num_columns: int = 4,
+        reduce_fn: ReduceFn = lambda a, b: a + b,
+        column_hash: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        if num_stages <= 0 or num_columns <= 0:
+            raise ConfigurationError("pipeline dimensions must be positive")
+        self.num_stages = num_stages
+        self.num_columns = num_columns
+        self.reduce_fn = reduce_fn
+        self._column_hash = column_hash or (lambda vid: vid % num_columns)
+        # _array[stage][column] is Optional[_Register]; stage 0 is the
+        # output stage.
+        self._array: List[List[Optional[_Register]]] = [
+            [None] * num_columns for _ in range(num_stages)
+        ]
+        self._rr_column = 0
+        self.stats = AggregationStats()
+
+    @property
+    def capacity(self) -> int:
+        return self.num_stages * self.num_columns
+
+    def occupancy(self) -> int:
+        return sum(
+            1
+            for stage in self._array
+            for reg in stage
+            if reg is not None
+        )
+
+    def column_of(self, vertex: int) -> int:
+        col = self._column_hash(vertex)
+        if not 0 <= col < self.num_columns:
+            raise ConfigurationError("column_hash out of range")
+        return col
+
+    # ------------------------------------------------------------------
+    # Write path (Figure 11: pipelined compare-and-reduce down a column)
+    # ------------------------------------------------------------------
+    def offer(self, vertex: int, value: float) -> str:
+        """Insert one update; returns ``'coalesced'``, ``'stored'`` or
+        ``'rejected'`` (column full with no matching vertex — the caller
+        must forward the update unaggregated, as a FIFO would)."""
+        self.stats.offered += 1
+        col = self.column_of(vertex)
+        for stage in range(self.num_stages):
+            reg = self._array[stage][col]
+            if reg is None:
+                self._array[stage][col] = _Register(vertex, value)
+                self.stats.stored += 1
+                return "stored"
+            if reg.vertex == vertex:
+                reg.value = self.reduce_fn(reg.value, value)
+                self.stats.coalesced += 1
+                return "coalesced"
+        self.stats.rejected += 1
+        return "rejected"
+
+    # ------------------------------------------------------------------
+    # Read path (systolic shift toward stage 0)
+    # ------------------------------------------------------------------
+    def emit(self, column: Optional[int] = None) -> Optional[Tuple[int, float]]:
+        """Pop the stage-0 register of a column (round-robin when None),
+        shifting the column's deeper registers one stage forward.  Returns
+        ``(vertex, value)`` or None when the chosen column is empty."""
+        if column is None:
+            column = self._next_nonempty_column()
+            if column is None:
+                return None
+        out = self._array[0][column]
+        if out is None:
+            # Column may hold data only in deeper stages; compact first.
+            self._shift_up(column)
+            out = self._array[0][column]
+            if out is None:
+                return None
+        self._array[0][column] = None
+        self._shift_up(column)
+        self.stats.emitted += 1
+        return out.vertex, out.value
+
+    def drain(self) -> List[Tuple[int, float]]:
+        """Emit everything (used at end of a Scatter phase)."""
+        emitted = []
+        while self.occupancy():
+            item = self.emit()
+            if item is None:  # pragma: no cover - defensive
+                break
+            emitted.append(item)
+        return emitted
+
+    def _shift_up(self, column: int) -> None:
+        for stage in range(self.num_stages - 1):
+            if self._array[stage][column] is None:
+                self._array[stage][column] = self._array[stage + 1][column]
+                self._array[stage + 1][column] = None
+
+    def _next_nonempty_column(self) -> Optional[int]:
+        for step in range(self.num_columns):
+            col = (self._rr_column + step) % self.num_columns
+            if any(
+                self._array[stage][col] is not None
+                for stage in range(self.num_stages)
+            ):
+                self._rr_column = (col + 1) % self.num_columns
+                return col
+        return None
+
+
+# ----------------------------------------------------------------------
+# Statistical window model (used at scale)
+# ----------------------------------------------------------------------
+def window_coalesce_count(vertex_ids: np.ndarray, window: int) -> int:
+    """How many updates of a stream coalesce with a residency of
+    ``window`` slots.
+
+    An update coalesces when the previous update to the same vertex is at
+    most ``window`` positions earlier in the stream (it is then still
+    resident in the register array).  ``window = 0`` models the plain
+    FIFO of Figure 18(a)'s zero-register case: nothing coalesces.
+
+    Vectorised: O(E log E) in the stream length.
+    """
+    vertex_ids = np.asarray(vertex_ids)
+    if window <= 0 or vertex_ids.size < 2:
+        return 0
+    positions = np.arange(vertex_ids.size, dtype=np.int64)
+    order = np.argsort(vertex_ids, kind="stable")
+    sorted_ids = vertex_ids[order]
+    sorted_pos = positions[order]
+    same = sorted_ids[1:] == sorted_ids[:-1]
+    gaps = sorted_pos[1:] - sorted_pos[:-1]
+    return int(np.count_nonzero(same & (gaps <= window)))
+
+
+def window_coalesce(
+    vertex_ids: np.ndarray,
+    values: np.ndarray,
+    window: int,
+    reduce_ufunc: np.ufunc = np.add,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply the window model functionally, returning the reduced stream.
+
+    Used by tests to check that coalescing is *value-preserving*: reducing
+    the output stream per vertex equals reducing the input stream per
+    vertex.  Pure-Python loop — intended for small streams.
+    """
+    vertex_ids = np.asarray(vertex_ids)
+    values = np.asarray(values, dtype=np.float64)
+    out_ids: List[int] = []
+    out_vals: List[float] = []
+    # Maps vertex -> index in the output arrays while still in-window.
+    resident: dict[int, int] = {}
+    for vid, val in zip(vertex_ids, values):
+        vid = int(vid)
+        slot = resident.get(vid)
+        if slot is not None and len(out_ids) - slot <= window:
+            out_vals[slot] = float(reduce_ufunc(out_vals[slot], val))
+        else:
+            resident[vid] = len(out_ids)
+            out_ids.append(vid)
+            out_vals.append(float(val))
+    return np.array(out_ids, dtype=np.int64), np.array(out_vals)

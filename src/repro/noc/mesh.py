@@ -1,0 +1,268 @@
+"""Cycle-level 2D-mesh NoC simulator.
+
+This is the detailed model of ScalaGraph's interconnect: a matrix of
+:class:`~repro.noc.router.Router` instances advanced cycle by cycle with
+credit-style backpressure.  It is intentionally unoptimised Python — it
+exists to validate the vectorised analytic NoC model used by the at-scale
+accelerator simulations (tests cross-check the two on small meshes) and to
+measure routing-conflict behaviour directly (Figure 6, Section II-C).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.noc.packet import Packet
+from repro.noc.router import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    Router,
+)
+from repro.noc.topology import MeshTopology
+
+#: For an output port on one router, the (row delta, col delta, input port
+#: seen by the downstream router) of the traversed link.
+_LINK_OF_OUTPUT = {
+    NORTH: (-1, 0, SOUTH),
+    SOUTH: (1, 0, NORTH),
+    WEST: (0, -1, EAST),
+    EAST: (0, 1, WEST),
+}
+
+
+@dataclass
+class MeshStats:
+    """Aggregate statistics for a mesh simulation run.
+
+    Attributes:
+        cycles: total simulated cycles.
+        delivered: number of packets that reached their destination.
+        total_hops: router-to-router link traversals (NoC communications
+            in the paper's sense — traffic injected into the network).
+        total_latency: sum of per-packet injection-to-delivery latencies.
+        max_occupancy: peak total buffer occupancy across routers.
+        stalled_moves: grants that could not proceed for lack of
+            downstream buffer space (routing conflicts surface here).
+    """
+
+    cycles: int = 0
+    delivered: int = 0
+    total_hops: int = 0
+    total_latency: int = 0
+    max_occupancy: int = 0
+    stalled_moves: int = 0
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.delivered if self.delivered else 0.0
+
+    @property
+    def average_hops(self) -> float:
+        return self.total_hops / self.delivered if self.delivered else 0.0
+
+
+class MeshNetwork:
+    """A ``rows x cols`` mesh advanced one cycle at a time.
+
+    Usage: :meth:`schedule` packets (or :meth:`inject` directly), then call
+    :meth:`run_until_drained`; delivered packets land in
+    :attr:`delivered` with ``delivered_cycle`` filled in.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        buffer_depth: int = 4,
+    ) -> None:
+        self.topology = topology
+        self.routers = [
+            Router(node=n, buffer_depth=buffer_depth)
+            for n in range(topology.num_nodes)
+        ]
+        self.cycle = 0
+        self.delivered: List[Packet] = []
+        self.stats = MeshStats()
+        self._pending: List[Tuple[int, int, Packet]] = []  # (cycle, seq, pkt)
+        self._seq = 0
+        # Multi-flit support: cycles each (node, out_port) stays busy,
+        # and packets in flight on a link (store-and-forward).
+        self._link_busy: Dict[Tuple[int, int], int] = {}
+        self._in_flight: List[Tuple[int, int, int, Packet]] = []
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def schedule(self, packet: Packet, cycle: Optional[int] = None) -> None:
+        """Queue a packet for injection at ``cycle`` (default: its
+        ``injected_cycle``).  Injection is retried every cycle until the
+        source router's local buffer has space."""
+        when = packet.injected_cycle if cycle is None else cycle
+        self._check_node(packet.src)
+        self._check_node(packet.dst)
+        heapq.heappush(self._pending, (when, self._seq, packet))
+        self._seq += 1
+
+    def inject(self, packet: Packet) -> bool:
+        """Immediately place a packet into its source router's local
+        input buffer.  Returns False when the buffer is full."""
+        self._check_node(packet.src)
+        self._check_node(packet.dst)
+        router = self.routers[packet.src]
+        if not router.has_space(LOCAL):
+            return False
+        packet.injected_cycle = self.cycle
+        router.accept(LOCAL, packet)
+        return True
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the network by one cycle.
+
+        Phase 1 drains the pending-injection heap into local buffers
+        (subject to space); phase 2 arbitrates every router and commits
+        all grants simultaneously (two-phase update so intra-cycle order
+        does not matter); phase 3 applies the moves.
+        """
+        self._inject_pending()
+        self._land_in_flight()
+        self._tick_link_busy()
+
+        # Collect all grants first (read phase); outputs still busy
+        # serialising a multi-flit packet are skipped.
+        moves: List[Tuple[int, int, int]] = []  # (node, out_port, in_port)
+        for router in self.routers:
+            for out_port, in_port in router.arbitrate(self.topology).items():
+                if self._link_busy.get((router.node, out_port), 0) > 0:
+                    continue
+                moves.append((router.node, out_port, in_port))
+
+        # Reserve downstream capacity: at most one packet enters a given
+        # (router, input port) per cycle, and only if space exists *now*.
+        accepted: List[Tuple[int, int, int]] = []
+        for node, out_port, in_port in moves:
+            if out_port == LOCAL:
+                accepted.append((node, out_port, in_port))
+                continue
+            dr, dc, _ = _LINK_OF_OUTPUT[out_port]
+            r, c = self.topology.coord(node)
+            downstream = self.routers[self.topology.node(r + dr, c + dc)]
+            dst_in = _LINK_OF_OUTPUT[out_port][2]
+            if downstream.has_space(dst_in):
+                accepted.append((node, out_port, in_port))
+            else:
+                self.stats.stalled_moves += 1
+
+        # Commit phase.
+        arrivals: List[Tuple[Router, int, Packet]] = []
+        for node, out_port, in_port in accepted:
+            router = self.routers[node]
+            packet = router.commit_grant(out_port, in_port)
+            serialisation = max(int(packet.flits), 1) - 1
+            if out_port == LOCAL:
+                packet.delivered_cycle = self.cycle + serialisation
+                self.delivered.append(packet)
+                self.stats.delivered += 1
+                self.stats.total_latency += packet.latency or 0
+                if serialisation:
+                    # +1 because the counter ticks at the start of the
+                    # next cycle: block exactly `serialisation` cycles.
+                    self._link_busy[(node, out_port)] = serialisation + 1
+            else:
+                dr, dc, dst_in = _LINK_OF_OUTPUT[out_port]
+                r, c = self.topology.coord(node)
+                downstream_node = self.topology.node(r + dr, c + dc)
+                self.stats.total_hops += 1
+                if serialisation:
+                    # The tail flits occupy the link; the packet lands
+                    # downstream once fully transferred.  (+1: the busy
+                    # counter ticks at the start of the next cycle.)
+                    self._link_busy[(node, out_port)] = serialisation + 1
+                    self._in_flight.append(
+                        (
+                            self.cycle + serialisation,
+                            downstream_node,
+                            dst_in,
+                            packet,
+                        )
+                    )
+                else:
+                    arrivals.append(
+                        (self.routers[downstream_node], dst_in, packet)
+                    )
+        for downstream, dst_in, packet in arrivals:
+            downstream.accept(dst_in, packet)
+
+        occupancy = sum(r.occupancy() for r in self.routers)
+        self.stats.max_occupancy = max(self.stats.max_occupancy, occupancy)
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    def run_until_drained(self, max_cycles: int = 1_000_000) -> MeshStats:
+        """Step until every scheduled packet has been delivered."""
+        while (
+            self._pending
+            or self._in_flight
+            or any(r.occupancy() for r in self.routers)
+        ):
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"mesh did not drain within {max_cycles} cycles"
+                )
+            self.step()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _land_in_flight(self) -> None:
+        """Deposit fully-transferred multi-flit packets downstream.
+
+        A landing blocked by a full buffer retries next cycle (the tail
+        keeps the link busy meanwhile, which is store-and-forward
+        backpressure).
+        """
+        remaining = []
+        for arrive_cycle, node, in_port, packet in self._in_flight:
+            if arrive_cycle > self.cycle:
+                remaining.append((arrive_cycle, node, in_port, packet))
+                continue
+            router = self.routers[node]
+            if router.has_space(in_port):
+                router.accept(in_port, packet)
+            else:
+                self.stats.stalled_moves += 1
+                remaining.append((self.cycle + 1, node, in_port, packet))
+        self._in_flight = remaining
+
+    def _tick_link_busy(self) -> None:
+        for key in list(self._link_busy):
+            self._link_busy[key] -= 1
+            if self._link_busy[key] <= 0:
+                del self._link_busy[key]
+
+    def _inject_pending(self) -> None:
+        deferred = []
+        while self._pending and self._pending[0][0] <= self.cycle:
+            when, seq, packet = heapq.heappop(self._pending)
+            router = self.routers[packet.src]
+            if router.has_space(LOCAL):
+                packet.injected_cycle = when  # latency counts queueing time
+                router.accept(LOCAL, packet)
+            else:
+                deferred.append((self.cycle + 1, seq, packet))
+        for item in deferred:
+            heapq.heappush(self._pending, item)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.topology.num_nodes:
+            raise ConfigurationError(
+                f"node {node} outside mesh with {self.topology.num_nodes} nodes"
+            )

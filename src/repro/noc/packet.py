@@ -1,0 +1,45 @@
+"""Packet records exchanged over the cycle-level NoC simulators."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One vertex-update packet in flight on the NoC.
+
+    Attributes:
+        src: source node ID (the PE whose GU produced the update).
+        dst: destination node ID (the PE whose SPD owns the vertex).
+        vertex: destination vertex ID carried by the update.
+        value: scatter result to be reduced into the vertex's V_temp.
+        injected_cycle: cycle at which the packet entered the network.
+        delivered_cycle: set by the simulator on arrival.
+        flits: link cycles the packet occupies per hop (1 = a single
+            8-byte update on a wide link; >1 models payloads wider than
+            the link, serialised store-and-forward).
+        pid: unique packet ID (diagnostics).
+        payload: optional arbitrary extra payload for tests.
+    """
+
+    src: int
+    dst: int
+    vertex: int = 0
+    value: float = 0.0
+    injected_cycle: int = 0
+    delivered_cycle: Optional[int] = None
+    flits: int = 1
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    payload: Any = None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Cycles from injection to delivery, once delivered."""
+        if self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.injected_cycle

@@ -1,0 +1,99 @@
+"""Input-buffered mesh router with XY routing and round-robin arbitration.
+
+Each ScalaGraph PE contains a routing unit (RU) that forwards vertex
+updates to neighbouring RUs (Section III-A).  The router model here is the
+standard low-cost design the paper's O(N) mesh complexity assumes: five
+ports (local + N/S/E/W), one-flit-per-cycle links, FIFO input buffers,
+dimension-order (X-then-Y) routing, and per-output round-robin arbitration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology
+
+#: Port indices.  LOCAL is both the injection port and the delivery port.
+LOCAL, NORTH, SOUTH, WEST, EAST = range(5)
+PORT_NAMES = ("local", "north", "south", "west", "east")
+NUM_PORTS = 5
+
+
+def xy_output_port(topology: MeshTopology, node: int, dst: int) -> int:
+    """Dimension-order routing decision: route X (columns) then Y (rows)."""
+    r, c = topology.coord(node)
+    dr, dc = topology.coord(dst)
+    if c < dc:
+        return EAST
+    if c > dc:
+        return WEST
+    if r < dr:
+        return SOUTH
+    if r > dr:
+        return NORTH
+    return LOCAL
+
+
+@dataclass
+class Router:
+    """One mesh router: five input FIFOs plus arbitration state."""
+
+    node: int
+    buffer_depth: int
+    inputs: List[Deque[Packet]] = field(init=False)
+    _rr_pointer: List[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.buffer_depth <= 0:
+            raise ConfigurationError("buffer_depth must be positive")
+        self.inputs = [deque() for _ in range(NUM_PORTS)]
+        self._rr_pointer = [0] * NUM_PORTS
+
+    def has_space(self, in_port: int) -> bool:
+        return len(self.inputs[in_port]) < self.buffer_depth
+
+    def accept(self, in_port: int, packet: Packet) -> None:
+        if not self.has_space(in_port):
+            raise ConfigurationError(
+                f"router {self.node} port {PORT_NAMES[in_port]} overflow"
+            )
+        self.inputs[in_port].append(packet)
+
+    def occupancy(self) -> int:
+        return sum(len(q) for q in self.inputs)
+
+    def arbitrate(
+        self, topology: MeshTopology
+    ) -> Dict[int, int]:
+        """Pick one winning input port per requested output port.
+
+        Returns a mapping ``{out_port: in_port}`` covering every output
+        some head-of-line packet wants this cycle.  Round-robin pointers
+        rotate *only* when a grant is issued, which keeps arbitration
+        fair under sustained contention.
+        """
+        requests: Dict[int, List[int]] = {}
+        for in_port, queue in enumerate(self.inputs):
+            if not queue:
+                continue
+            out_port = xy_output_port(topology, self.node, queue[0].dst)
+            requests.setdefault(out_port, []).append(in_port)
+
+        grants: Dict[int, int] = {}
+        for out_port, contenders in requests.items():
+            pointer = self._rr_pointer[out_port]
+            # Pick the first contender at or after the pointer, wrapping.
+            winner = min(
+                contenders, key=lambda p: (p - pointer) % NUM_PORTS
+            )
+            grants[out_port] = winner
+        return grants
+
+    def commit_grant(self, out_port: int, in_port: int) -> Packet:
+        """Dequeue the granted packet and advance the RR pointer."""
+        self._rr_pointer[out_port] = (in_port + 1) % NUM_PORTS
+        return self.inputs[in_port].popleft()

@@ -1,0 +1,94 @@
+"""Topology abstractions and distance math for on-chip networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+Coordinate = Tuple[int, int]
+
+
+def manhattan_distance(a: Coordinate, b: Coordinate) -> int:
+    """Hop count between two mesh coordinates under XY routing."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A ``rows x cols`` 2D mesh of PEs.
+
+    Node IDs are row-major: node ``(r, c)`` has ID ``r * cols + c``.
+    ScalaGraph uses a 16x16 matrix per tile (Section III-A).
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError("mesh dimensions must be positive")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rows * self.cols
+
+    def coord(self, node: int) -> Coordinate:
+        self._check(node)
+        return divmod(node, self.cols)
+
+    def node(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigurationError(
+                f"coordinate ({row}, {col}) outside {self.rows}x{self.cols} mesh"
+            )
+        return row * self.cols + col
+
+    def neighbors(self, node: int) -> Iterator[int]:
+        """Adjacent nodes (N/S/W/E order, existing ones only)."""
+        r, c = self.coord(node)
+        if r > 0:
+            yield self.node(r - 1, c)
+        if r < self.rows - 1:
+            yield self.node(r + 1, c)
+        if c > 0:
+            yield self.node(r, c - 1)
+        if c < self.cols - 1:
+            yield self.node(r, c + 1)
+
+    def hop_distance(self, a: int, b: int) -> int:
+        return manhattan_distance(self.coord(a), self.coord(b))
+
+    def rows_of(self, nodes: np.ndarray) -> np.ndarray:
+        return np.asarray(nodes) // self.cols
+
+    def cols_of(self, nodes: np.ndarray) -> np.ndarray:
+        return np.asarray(nodes) % self.cols
+
+    def average_distance(self) -> float:
+        """Mean XY hop distance over all ordered node pairs.
+
+        For an ``n x m`` mesh the expected |row delta| is
+        ``(n^2 - 1) / (3n)`` and analogously for columns; their sum is the
+        O(sqrt(K)) term of the paper's Table II communication analysis.
+        """
+        n, m = self.rows, self.cols
+        return (n * n - 1) / (3 * n) + (m * m - 1) / (3 * m)
+
+    def average_column_distance(self) -> float:
+        """Mean |row delta| — the only routed dimension under the paper's
+        row-oriented mapping (Section IV-A)."""
+        n = self.rows
+        return (n * n - 1) / (3 * n)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(
+                f"node {node} outside mesh with {self.num_nodes} nodes"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MeshTopology({self.rows}x{self.cols})"

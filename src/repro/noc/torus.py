@@ -1,0 +1,151 @@
+"""2D-torus NoC: the paper's "other NoCs" future work, implemented.
+
+Section III-A: *"the design of ScalaGraph is fully compatible with that
+of other NoCs via minor modifications. As for the problem of determining
+or even designing the most appropriate NoC, we leave it as an
+interesting future work."*
+
+A torus adds wrap-around links to the mesh, halving worst-case and
+average hop distances at the cost of longer physical wires (which on an
+FPGA costs some frequency).  This module provides the topology math and
+exact link-load accounting for column-only (row-oriented mapping)
+traffic under shortest-direction routing, so the ablation bench can ask
+whether ScalaGraph's NoC choice is the right one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noc.topology import MeshTopology
+from repro.noc.traffic import LinkLoadReport
+
+
+@dataclass(frozen=True)
+class TorusTopology(MeshTopology):
+    """A ``rows x cols`` 2D torus (mesh + wrap-around links).
+
+    Inherits the mesh's row-major node numbering; distances and
+    neighbourhoods account for the wrap links.
+    """
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ar, ac = self.coord(a)
+        br, bc = self.coord(b)
+        dr = abs(ar - br)
+        dc = abs(ac - bc)
+        return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+    def neighbors(self, node: int):
+        r, c = self.coord(node)
+        seen = set()
+        for rr, cc in (
+            ((r - 1) % self.rows, c),
+            ((r + 1) % self.rows, c),
+            (r, (c - 1) % self.cols),
+            (r, (c + 1) % self.cols),
+        ):
+            nb = self.node(rr, cc)
+            if nb != node and nb not in seen:
+                seen.add(nb)
+                yield nb
+
+    def average_distance(self) -> float:
+        """Mean shortest-path distance over ordered node pairs."""
+        return _ring_average(self.rows) + _ring_average(self.cols)
+
+    def average_column_distance(self) -> float:
+        """Mean |row delta| on the row rings — the only routed dimension
+        under the row-oriented mapping."""
+        return _ring_average(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TorusTopology({self.rows}x{self.cols})"
+
+
+def _ring_average(n: int) -> float:
+    """Mean shortest distance between two uniform points on an n-ring."""
+    if n <= 1:
+        return 0.0
+    distances = np.minimum(np.arange(n), n - np.arange(n))
+    return float(distances.mean())
+
+
+def ring_direction(src: np.ndarray, dst: np.ndarray, n: int) -> np.ndarray:
+    """+1 (downward/rightward), -1, or 0 for shortest-ring routing.
+
+    Ties (exactly half-ring) break toward +1, deterministically.
+    """
+    delta = (np.asarray(dst) - np.asarray(src)) % n
+    direction = np.where(delta == 0, 0, np.where(delta <= n / 2, 1, -1))
+    return direction
+
+
+def torus_column_link_loads(
+    rows: int,
+    column: np.ndarray,
+    src_row: np.ndarray,
+    dst_row: np.ndarray,
+    num_cols: int,
+) -> LinkLoadReport:
+    """Directed link loads of column-only traffic on a torus.
+
+    Vertical rings have ``rows`` links per direction (link ``k`` joins
+    rows ``k`` and ``(k+1) % rows``); each packet takes the shorter way
+    around.  Returned ``south``/``north`` arrays are ``(rows, cols)``
+    (one extra row vs the mesh report: the wrap link).
+    """
+    if rows <= 0 or num_cols <= 0:
+        raise ConfigurationError("torus dimensions must be positive")
+    column = np.asarray(column, dtype=np.int64)
+    src_row = np.asarray(src_row, dtype=np.int64)
+    dst_row = np.asarray(dst_row, dtype=np.int64)
+
+    south = np.zeros((rows, num_cols), dtype=np.int64)
+    north = np.zeros((rows, num_cols), dtype=np.int64)
+    direction = ring_direction(src_row, dst_row, rows)
+
+    # Downward (south) passengers cross links src, src+1, ..., dst-1
+    # (mod rows); upward cross src-1, ..., dst (mod rows) in the north
+    # arrays.  Use difference arrays on a doubled ring.
+    for sign, loads in ((1, south), (-1, north)):
+        mask = direction == sign
+        if not np.any(mask):
+            continue
+        col = column[mask]
+        if sign == 1:
+            start = src_row[mask]
+            length = (dst_row[mask] - src_row[mask]) % rows
+        else:
+            start = (src_row[mask] - 1) % rows
+            length = (src_row[mask] - dst_row[mask]) % rows
+        # Walk `length` links from `start` in ring order (descending for
+        # north).  Difference trick on an unrolled 2*rows ring.
+        diff = np.zeros((2 * rows + 1, num_cols), dtype=np.int64)
+        if sign == 1:
+            np.add.at(diff, (start, col), 1)
+            np.add.at(diff, (start + length, col), -1)
+        else:
+            # North traverses links start, start-1, ...; mirror the ring.
+            m_start = (rows - 1) - start
+            np.add.at(diff, (m_start, col), 1)
+            np.add.at(diff, (m_start + length, col), -1)
+        acc = np.cumsum(diff[:-1], axis=0)
+        wrapped = acc[:rows] + acc[rows : 2 * rows]
+        if sign == 1:
+            loads += wrapped
+        else:
+            loads += wrapped[::-1]
+
+    total = int(south.sum() + north.sum())
+    return LinkLoadReport(
+        east=np.zeros((rows, max(num_cols - 1, 0)), dtype=np.int64),
+        west=np.zeros((rows, max(num_cols - 1, 0)), dtype=np.int64),
+        south=south,
+        north=north,
+        total_flit_hops=total,
+        num_packets=int(column.size),
+    )

@@ -1,0 +1,64 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_graph, path_graph, rmat_graph, star_graph
+
+# Keep the property-based suite fast and deterministic.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """Five vertices, hand-built; used for exact-value tests.
+
+    Edges: 0->1, 0->2, 1->3, 2->3, 3->4, 4->0 (a diamond plus a return
+    edge), with weights 1..6.
+    """
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 0)]
+    weights = [1, 2, 3, 4, 5, 6]
+    return CSRGraph.from_edges(5, edges, weights=weights, name="tiny")
+
+
+@pytest.fixture
+def small_rmat() -> CSRGraph:
+    """64 vertices, ~384 edges, power-law; the detailed simulators'
+    workhorse."""
+    return rmat_graph(6, edge_factor=6, seed=7, name="small_rmat")
+
+
+@pytest.fixture
+def medium_rmat() -> CSRGraph:
+    """1,024 vertices, ~16k edges; big enough for statistical checks."""
+    return rmat_graph(10, edge_factor=16, seed=11, name="medium_rmat")
+
+
+@pytest.fixture
+def chain() -> CSRGraph:
+    return path_graph(10)
+
+
+@pytest.fixture
+def grid() -> CSRGraph:
+    return grid_graph(4, 4)
+
+
+@pytest.fixture
+def star() -> CSRGraph:
+    return star_graph(12, outward=True)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

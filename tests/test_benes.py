@@ -1,0 +1,71 @@
+"""Benes network tests: construction and rearrangeability."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.noc.benes import BenesNetwork
+
+
+class TestConstruction:
+    def test_depth(self):
+        assert BenesNetwork(2).depth == 1
+        assert BenesNetwork(8).depth == 5
+        assert BenesNetwork(64).depth == 11
+
+    def test_num_switches_is_n_log_n(self):
+        net = BenesNetwork(16)
+        assert net.num_switches == net.depth * 8
+        # O(N log N): 16 ports -> 56 switches vs crossbar's 256 points.
+        assert net.num_switches == 56
+
+    def test_rejects_non_power_of_two(self):
+        for bad in (0, 1, 3, 6, 100):
+            with pytest.raises(ConfigurationError):
+                BenesNetwork(bad)
+
+
+class TestRouting:
+    def test_identity(self):
+        net = BenesNetwork(8)
+        perm = list(range(8))
+        assert net.evaluate(net.route_permutation(perm)) == perm
+
+    def test_reversal(self):
+        net = BenesNetwork(8)
+        perm = list(reversed(range(8)))
+        assert net.evaluate(net.route_permutation(perm)) == perm
+
+    def test_swap_pairs(self):
+        net = BenesNetwork(8)
+        perm = [1, 0, 3, 2, 5, 4, 7, 6]
+        assert net.evaluate(net.route_permutation(perm)) == perm
+
+    def test_base_case(self):
+        net = BenesNetwork(2)
+        assert net.evaluate(net.route_permutation([1, 0])) == [1, 0]
+        assert net.evaluate(net.route_permutation([0, 1])) == [0, 1]
+
+    def test_rejects_non_permutation(self):
+        net = BenesNetwork(4)
+        with pytest.raises(ConfigurationError):
+            net.route_permutation([0, 0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            net.route_permutation([0, 1, 2])
+
+    def test_random_permutations_all_sizes(self):
+        rng = np.random.default_rng(9)
+        for n in (4, 8, 16, 32, 128):
+            net = BenesNetwork(n)
+            for _ in range(5):
+                perm = list(rng.permutation(n))
+                assert net.evaluate(net.route_permutation(perm)) == perm
+
+    @given(st.permutations(list(range(16))))
+    def test_rearrangeable_property(self, perm):
+        """A Benes network realises *every* permutation — the property
+        that makes it a crossbar substitute at O(N log N) cost."""
+        net = BenesNetwork(16)
+        assert net.evaluate(net.route_permutation(list(perm))) == list(perm)

@@ -1,0 +1,129 @@
+"""CLI tests (exercised in-process through main())."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestDatasets:
+    def test_lists_registry(self):
+        code, text = run_cli("datasets")
+        assert code == 0
+        for key in ("FL", "PK", "LJ", "OR", "RM", "TW"):
+            assert key in text
+        assert "1,468,400,000" in text  # Twitter's paper edge count
+
+
+class TestRun:
+    def test_basic_run(self):
+        code, text = run_cli(
+            "run", "-d", "PK", "-a", "bfs", "--scale-shift", "-4"
+        )
+        assert code == 0
+        assert "ScalaGraph-512" in text
+        assert "GTEPS" in text
+
+    def test_pes_and_mapping(self):
+        code, text = run_cli(
+            "run",
+            "-d", "PK",
+            "-a", "pagerank",
+            "--pes", "128",
+            "--mapping", "som",
+            "--scale-shift", "-4",
+            "--max-iterations", "3",
+        )
+        assert code == 0
+        assert "ScalaGraph-128" in text
+
+    def test_verbose_breakdown(self):
+        code, text = run_cli(
+            "run",
+            "-d", "PK",
+            "-a", "bfs",
+            "--scale-shift", "-4",
+            "--verbose",
+        )
+        assert code == 0
+        assert "bottleneck" in text
+        assert "scatter cyc" in text
+
+    def test_torus_mapping(self):
+        code, text = run_cli(
+            "run",
+            "-d", "PK",
+            "-a", "pagerank",
+            "--mapping", "rom-torus",
+            "--scale-shift", "-4",
+            "--max-iterations", "3",
+        )
+        assert code == 0
+
+    def test_knobs(self):
+        code, _ = run_cli(
+            "run",
+            "-d", "PK",
+            "-a", "cc",
+            "--registers", "0",
+            "--window", "1",
+            "--no-pipelining",
+            "--scale-shift", "-4",
+        )
+        assert code == 0
+
+
+class TestCompare:
+    def test_all_systems(self):
+        code, text = run_cli(
+            "compare",
+            "-d", "PK",
+            "-a", "bfs",
+            "--scale-shift", "-4",
+        )
+        assert code == 0
+        for label in (
+            "Gunrock",
+            "GraphDynS-128",
+            "GraphDynS-512",
+            "ScalaGraph-128",
+            "ScalaGraph-512",
+        ):
+            assert label in text
+
+
+class TestSweep:
+    def test_pe_sweep(self):
+        code, text = run_cli(
+            "sweep",
+            "-d", "PK",
+            "-a", "pagerank",
+            "--pes", "32", "512",
+            "--scale-shift", "-4",
+            "--max-iterations", "3",
+        )
+        assert code == 0
+        assert "32" in text and "512" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "-a", "dijkstra"])
+
+    def test_new_algorithms_available(self):
+        args = build_parser().parse_args(["run", "-a", "spmv"])
+        assert args.algorithm == "spmv"
+        args = build_parser().parse_args(["run", "-a", "sswp"])
+        assert args.algorithm == "sswp"

@@ -1,0 +1,78 @@
+"""Unit tests for the paper-dataset stand-in registry."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.datasets import DATASET_ORDER, DATASETS, load_dataset
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        # Table III's five evaluation graphs plus Table I's Flickr.
+        assert set(DATASETS) == {"FL", "PK", "LJ", "OR", "RM", "TW"}
+        assert DATASET_ORDER == ("PK", "LJ", "OR", "RM", "TW")
+
+    def test_paper_statistics_recorded(self):
+        """Table III's vertex/edge counts are preserved as metadata."""
+        assert DATASETS["TW"].paper_edges == 1_468_400_000
+        assert DATASETS["PK"].paper_vertices == 1_600_000
+
+    def test_standin_average_degree_matches_paper(self):
+        """The stand-in's average degree tracks the original's."""
+        for spec in DATASETS.values():
+            paper_degree = spec.paper_edges / spec.paper_vertices
+            assert spec.edge_factor == pytest.approx(paper_degree, rel=0.35)
+
+    def test_rmat_params_sum_to_one(self):
+        for spec in DATASETS.values():
+            a, b, c = spec.rmat_params()
+            assert a + b + c <= 1.0 + 1e-12
+            assert min(a, b, c) >= 0
+
+
+class TestLoading:
+    def test_load_by_code_and_name(self):
+        by_code = load_dataset("PK", scale_shift=-6)
+        by_name = load_dataset("Pokec", scale_shift=-6)
+        assert by_code.num_edges == by_name.num_edges
+
+    def test_case_insensitive(self):
+        g = load_dataset("pk", scale_shift=-6)
+        assert g.name == "PK"
+
+    def test_scale_shift(self):
+        small = load_dataset("LJ", scale_shift=-4)
+        smaller = load_dataset("LJ", scale_shift=-5)
+        assert small.num_vertices == 2 * smaller.num_vertices
+
+    def test_weighted(self):
+        g = load_dataset("PK", scale_shift=-6, weighted=True)
+        assert g.is_weighted
+        assert g.weights.max() <= 255
+
+    def test_deterministic_by_default(self):
+        a = load_dataset("OR", scale_shift=-5)
+        b = load_dataset("OR", scale_shift=-5)
+        assert (a.indices == b.indices).all()
+
+    def test_seed_override(self):
+        a = load_dataset("OR", scale_shift=-5, seed=1)
+        b = load_dataset("OR", scale_shift=-5, seed=2)
+        assert not (a.indices == b.indices).all()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GraphFormatError):
+            load_dataset("nope")
+
+    def test_excessive_shift(self):
+        with pytest.raises(GraphFormatError):
+            load_dataset("PK", scale_shift=-100)
+
+    def test_twitter_is_most_skewed(self):
+        """TW's stand-in should have the heaviest tail (its RMAT `a` is
+        the largest), mirroring the real Twitter graph."""
+        tw = load_dataset("TW", scale_shift=-4)
+        orr = load_dataset("OR", scale_shift=-3)  # similar edge count
+        tw_skew = tw.max_degree() / tw.average_degree
+        or_skew = orr.max_degree() / orr.average_degree
+        assert tw_skew > or_skew

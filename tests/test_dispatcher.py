@@ -1,0 +1,178 @@
+"""Dispatcher model tests: degree-aware packing and inter-phase pipelining."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dispatcher import (
+    apply_compute_cycles,
+    pack_lines,
+    pipeline_schedule,
+    scatter_compute_cycles,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPackLines:
+    def test_single_low_degree_vertex(self):
+        lines = pack_lines(
+            np.array([3]), np.array([0]), num_groups=1, line_width=16, window=1
+        )
+        assert lines[0] == 1
+
+    def test_high_degree_vertex_spans_lines(self):
+        lines = pack_lines(
+            np.array([33]), np.array([0]), num_groups=1, line_width=16, window=1
+        )
+        assert lines[0] == 3  # 2 full + 1 remainder
+
+    def test_window_one_is_one_vertex_per_line(self):
+        """Figure 19a's baseline: each low-degree vertex occupies its own
+        dispatch line."""
+        degrees = np.array([2, 3, 1, 4])
+        lines = pack_lines(degrees, np.zeros(4, dtype=int), 1, 16, window=1)
+        assert lines[0] == 4
+
+    def test_window_packs_low_degree_vertices(self):
+        """Section IV-C: multiple low-degree vertices share one line."""
+        degrees = np.array([2, 3, 1, 4])
+        lines = pack_lines(degrees, np.zeros(4, dtype=int), 1, 16, window=16)
+        assert lines[0] == 1  # 10 edges fit one 16-wide line
+
+    def test_window_capped_by_line_width(self):
+        degrees = np.full(8, 4)  # 32 edges
+        lines = pack_lines(degrees, np.zeros(8, dtype=int), 1, 16, window=16)
+        assert lines[0] == 2  # edges bound, not vertex bound
+
+    def test_window_limits_vertices_per_line(self):
+        degrees = np.ones(8, dtype=int)  # 8 single-edge vertices
+        lines = pack_lines(degrees, np.zeros(8, dtype=int), 1, 16, window=4)
+        assert lines[0] == 2  # 4 vertices per line max
+
+    def test_monotone_in_window(self):
+        rng = np.random.default_rng(0)
+        degrees = rng.integers(1, 20, 100)
+        groups = rng.integers(0, 4, 100)
+        prev = None
+        for window in (1, 2, 4, 8, 16):
+            total = pack_lines(degrees, groups, 4, 16, window).sum()
+            if prev is not None:
+                assert total <= prev
+            prev = total
+
+    def test_per_group_accounting(self):
+        degrees = np.array([16, 16, 1])
+        groups = np.array([0, 1, 1])
+        lines = pack_lines(degrees, groups, 2, 16, window=1)
+        assert lines[0] == 1
+        assert lines[1] == 2
+
+    def test_lower_bound_edges_over_width(self):
+        rng = np.random.default_rng(1)
+        degrees = rng.integers(1, 50, 200)
+        lines = pack_lines(degrees, np.zeros(200, dtype=int), 1, 16, 16)
+        assert lines[0] >= np.ceil(degrees.sum() / 16)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            pack_lines(np.array([1]), np.array([0]), 1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            pack_lines(np.array([1]), np.array([0, 1]), 2, 16, 1)
+
+    @given(
+        st.lists(st.integers(1, 40), min_size=1, max_size=50),
+        st.integers(1, 16),
+    )
+    def test_always_enough_lines_for_edges(self, degrees, window):
+        degrees = np.array(degrees)
+        lines = pack_lines(degrees, np.zeros(degrees.size, dtype=int), 1, 16, window)
+        assert lines[0] * 16 >= degrees.sum()
+
+    @given(
+        st.lists(st.integers(1, 40), min_size=1, max_size=50),
+    )
+    def test_never_fewer_than_fully_packed(self, degrees):
+        degrees = np.array(degrees)
+        lines = pack_lines(
+            degrees, np.zeros(degrees.size, dtype=int), 1, 16, window=10_000
+        )
+        assert lines[0] <= np.ceil(degrees.sum() / 16) + degrees.size
+
+
+class TestScatterCycles:
+    def test_max_over_rows(self):
+        degrees = np.array([16, 16, 16])
+        rows = np.array([0, 0, 1])
+        cycles = scatter_compute_cycles(degrees, rows, 2, 16, 16)
+        assert cycles == 2.0
+
+    def test_dispatch_efficiency(self):
+        degrees = np.array([16])
+        cycles = scatter_compute_cycles(
+            degrees, np.array([0]), 1, 16, 16, dispatch_efficiency=0.5
+        )
+        assert cycles == 2.0
+
+    def test_empty(self):
+        cycles = scatter_compute_cycles(
+            np.array([], dtype=int), np.array([], dtype=int), 4, 16, 16
+        )
+        assert cycles == 0.0
+
+
+class TestApplyCycles:
+    def test_busiest_pe(self):
+        touched = np.array([0, 0, 0, 1, 2])
+        assert apply_compute_cycles(touched, 4) == 3.0
+
+    def test_empty(self):
+        assert apply_compute_cycles(np.array([], dtype=int), 4) == 0.0
+
+
+class TestPipelineSchedule:
+    def test_disabled_is_serial(self):
+        total, overlaps = pipeline_schedule([10, 10], [5, 5], enabled=False)
+        assert total == 30
+        assert overlaps == [0.0, 0.0]
+
+    def test_overlap_bounded_by_next_scatter(self):
+        total, overlaps = pipeline_schedule(
+            [10, 4], [8, 8], enabled=True, efficiency=1.0
+        )
+        # Apply 0 (8) overlaps Scatter 1 (4): only 4 cycles hide.
+        assert overlaps == [4.0, 0.0]
+        assert total == 30 - 4
+
+    def test_overlap_bounded_by_apply(self):
+        total, overlaps = pipeline_schedule(
+            [10, 20], [5, 5], enabled=True, efficiency=1.0
+        )
+        assert overlaps == [5.0, 0.0]
+
+    def test_efficiency_scales_overlap(self):
+        _, overlaps = pipeline_schedule(
+            [10, 10], [5, 5], enabled=True, efficiency=0.5
+        )
+        assert overlaps[0] == 2.5
+
+    def test_last_apply_not_overlapped(self):
+        total, overlaps = pipeline_schedule(
+            [10], [100], enabled=True, efficiency=1.0
+        )
+        assert total == 110
+        assert overlaps == [0.0]
+
+    def test_speedup_capped_at_ideal(self):
+        """Perfect pipelining on equal phases approaches 2x, never more
+        (the Figure 19b ceiling)."""
+        scatter = [10.0] * 50
+        apply = [10.0] * 50
+        total, _ = pipeline_schedule(scatter, apply, enabled=True, efficiency=1.0)
+        serial = sum(scatter) + sum(apply)
+        assert serial / total <= 2.0
+        assert serial / total > 1.8
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_schedule([1, 2], [1], enabled=True)

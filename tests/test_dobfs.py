@@ -1,0 +1,101 @@
+"""Direction-optimizing BFS tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, run_direction_optimizing_bfs, run_reference
+from repro.algorithms.dobfs import as_workload
+from repro.core import ScalaGraph, ScalaGraphConfig
+from repro.errors import ConfigurationError
+from repro.graph.generators import path_graph, rmat_graph, star_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(9, edge_factor=10, seed=2)
+
+
+class TestCorrectness:
+    def test_depths_match_plain_bfs(self, graph):
+        dobfs = run_direction_optimizing_bfs(graph, root=0)
+        plain = run_reference(BFS(root=0), graph)
+        assert np.array_equal(dobfs.depths, plain.properties)
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_depths_across_graphs(self, seed):
+        g = rmat_graph(7, edge_factor=6, seed=seed)
+        dobfs = run_direction_optimizing_bfs(g, root=1)
+        plain = run_reference(BFS(root=1), g)
+        assert np.array_equal(dobfs.depths, plain.properties)
+
+    def test_path_graph_never_pulls(self):
+        """On a path the frontier is always one vertex: pure push."""
+        g = path_graph(20)
+        dobfs = run_direction_optimizing_bfs(g, root=0)
+        assert dobfs.pull_iterations == 0
+        assert np.array_equal(
+            dobfs.depths, run_reference(BFS(root=0), g).properties
+        )
+
+    def test_star_switches_to_pull(self):
+        """A hub frontier covering all edges triggers the alpha rule."""
+        g = star_graph(100, outward=True)
+        dobfs = run_direction_optimizing_bfs(g, root=0, alpha=2.0)
+        assert dobfs.pull_iterations >= 1
+        assert np.all(dobfs.depths[1:] == 1)
+
+    def test_invalid_params(self, graph):
+        with pytest.raises(ConfigurationError):
+            run_direction_optimizing_bfs(graph, root=-1)
+        with pytest.raises(ConfigurationError):
+            run_direction_optimizing_bfs(graph, alpha=0)
+
+
+class TestEdgeSavings:
+    def test_pull_examines_fewer_edges(self, graph):
+        """The whole point: on a low-diameter power-law graph the
+        direction-optimized traversal examines fewer edges than the
+        push-only one."""
+        dobfs = run_direction_optimizing_bfs(graph, root=0)
+        plain = run_reference(BFS(root=0), graph)
+        assert dobfs.pull_iterations >= 1
+        assert dobfs.total_edges_examined < plain.total_edges_traversed
+
+    def test_pull_steps_record_transposed_edges(self, graph):
+        dobfs = run_direction_optimizing_bfs(graph, root=0)
+        for step in dobfs.steps:
+            if step.mode == "pull":
+                # dst of every examined edge is an unvisited vertex.
+                assert np.isin(step.edge_dst, step.active_vertices).all()
+
+    def test_precomputed_transpose(self, graph):
+        rev = graph.reversed()
+        a = run_direction_optimizing_bfs(graph, root=0, transpose=rev)
+        b = run_direction_optimizing_bfs(graph, root=0)
+        assert np.array_equal(a.depths, b.depths)
+
+
+class TestAcceleratorIntegration:
+    def test_run_trace_accepts_dobfs_workload(self, graph):
+        dobfs = run_direction_optimizing_bfs(graph, root=0)
+        accel = ScalaGraph(ScalaGraphConfig())
+        report = accel.run_trace(
+            graph,
+            as_workload(dobfs),
+            algorithm="dobfs",
+            monotonic=True,
+            properties=dobfs.depths,
+        )
+        assert report.algorithm == "dobfs"
+        assert report.total_edges_traversed == dobfs.total_edges_examined
+        assert report.total_cycles > 0
+
+    def test_dobfs_faster_than_push_bfs_on_accelerator(self, graph):
+        """Fewer examined edges should translate into fewer cycles."""
+        accel = ScalaGraph(ScalaGraphConfig())
+        plain_report = accel.run(BFS(root=0), graph)
+        dobfs = run_direction_optimizing_bfs(graph, root=0)
+        dobfs_report = accel.run_trace(
+            graph, as_workload(dobfs), algorithm="dobfs", monotonic=True
+        )
+        assert dobfs_report.total_cycles < plain_report.total_cycles

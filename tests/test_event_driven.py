@@ -1,0 +1,214 @@
+"""Event-driven engine and GraphPulse baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    SSSP,
+    ConnectedComponents,
+    PageRank,
+    SpMV,
+    WidestPath,
+    run_reference,
+)
+from repro.baselines import GraphPulse, GraphPulseConfig
+from repro.engines import EventDrivenEngine
+from repro.errors import ConfigurationError
+from repro.graph.generators import path_graph, rmat_graph, star_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(8, edge_factor=8, seed=2)
+
+
+class TestMonotonicEquivalence:
+    @pytest.mark.parametrize(
+        "program_factory",
+        [BFS, ConnectedComponents],
+        ids=["bfs", "cc"],
+    )
+    def test_matches_reference(self, graph, program_factory):
+        program = program_factory()
+        result = EventDrivenEngine().run(program, graph)
+        reference = run_reference(program, graph)
+        assert np.array_equal(result.properties, reference.properties)
+
+    def test_sssp(self, graph):
+        g = graph.with_random_weights(1, 20, seed=1)
+        result = EventDrivenEngine().run(SSSP(), g)
+        assert np.array_equal(
+            result.properties, run_reference(SSSP(), g).properties
+        )
+
+    def test_widest_path(self, graph):
+        g = graph.with_random_weights(1, 50, seed=2)
+        result = EventDrivenEngine().run(WidestPath(), g)
+        assert np.array_equal(
+            result.properties, run_reference(WidestPath(), g).properties
+        )
+
+    def test_chain(self):
+        g = path_graph(30)
+        result = EventDrivenEngine().run(BFS(), g)
+        assert np.array_equal(
+            result.properties, np.arange(30, dtype=float)
+        )
+
+    def test_without_coalescing_same_result(self, graph):
+        a = EventDrivenEngine(coalesce=True).run(BFS(), graph)
+        b = EventDrivenEngine(coalesce=False).run(BFS(), graph)
+        assert np.array_equal(a.properties, b.properties)
+        assert a.stats.events_coalesced > 0
+        assert b.stats.events_coalesced == 0
+
+    def test_rejects_non_monotonic_non_pagerank(self, graph):
+        g = graph.with_random_weights(1, 5)
+        with pytest.raises(ConfigurationError):
+            EventDrivenEngine().run(SpMV(), g)
+
+
+class TestPropertyEquivalence:
+    """Property-based: asynchronous == bulk-synchronous on random graphs."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=20)
+    def test_bfs_any_graph(self, edges):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(16, edges)
+        result = EventDrivenEngine().run(BFS(root=0), g)
+        reference = run_reference(BFS(root=0), g)
+        assert np.array_equal(result.properties, reference.properties)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 11), st.integers(0, 11), st.integers(1, 9)
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=20)
+    def test_sssp_any_graph(self, weighted_edges):
+        from repro.graph.csr import CSRGraph
+
+        pairs = [(s, d) for s, d, _ in weighted_edges]
+        weights = [w for _, _, w in weighted_edges]
+        g = CSRGraph.from_edges(12, pairs, weights=weights or None)
+        result = EventDrivenEngine().run(SSSP(), g)
+        reference = run_reference(SSSP(), g)
+        assert np.array_equal(result.properties, reference.properties)
+
+
+class TestPushPageRank:
+    def test_converges_to_pagerank(self, graph):
+        result = EventDrivenEngine(residual_threshold=1e-10).run(
+            PageRank(tolerance=1e-9), graph
+        )
+        reference = run_reference(
+            PageRank(max_iters=500, tolerance=1e-12), graph
+        )
+        assert np.abs(result.properties - reference.properties).max() < 1e-6
+
+    def test_personalized(self, graph):
+        p = np.zeros(graph.num_vertices)
+        p[3] = 1.0
+        result = EventDrivenEngine(residual_threshold=1e-10).run(
+            PageRank(tolerance=1e-9, personalization=p), graph
+        )
+        reference = run_reference(
+            PageRank(max_iters=500, tolerance=1e-12, personalization=p),
+            graph,
+        )
+        assert np.abs(result.properties - reference.properties).max() < 1e-6
+
+    def test_threshold_trades_accuracy_for_work(self, graph):
+        fine = EventDrivenEngine(residual_threshold=1e-10).run(
+            PageRank(tolerance=1e-9), graph
+        )
+        coarse = EventDrivenEngine(residual_threshold=1e-4).run(
+            PageRank(tolerance=1e-3), graph
+        )
+        assert (
+            coarse.stats.events_processed < fine.stats.events_processed
+        )
+
+
+class TestEventStats:
+    def test_coalescing_cuts_events(self, graph):
+        result = EventDrivenEngine().run(ConnectedComponents(), graph)
+        assert result.stats.coalesce_rate > 0.3
+
+    def test_star_coalesces_heavily(self):
+        g = star_graph(64, outward=False)  # leaves all target the hub
+        result = EventDrivenEngine().run(ConnectedComponents(), g)
+        assert result.stats.coalesce_rate > 0.5
+
+    def test_peak_queue_bounded_by_vertices_when_coalescing(self, graph):
+        result = EventDrivenEngine().run(BFS(), graph)
+        assert result.stats.peak_queue_size <= graph.num_vertices
+
+
+class TestGraphPulseBaseline:
+    def test_runs_and_matches_reference(self, graph):
+        report = GraphPulse().run(BFS(), graph)
+        reference = run_reference(BFS(), graph)
+        assert np.array_equal(report.properties, reference.properties)
+        assert report.gteps > 0
+        assert report.accelerator == "GraphPulse-256"
+
+    def test_clock_from_multistage_model(self):
+        assert GraphPulse().config.clock_mhz == pytest.approx(98.0)
+
+    def test_async_does_less_work_than_bsp_on_sssp(self, graph):
+        """Label-correcting with coalescing traverses fewer edges than
+        Bellman-Ford-style iteration — GraphPulse's selling point."""
+        g = graph.with_random_weights(1, 20, seed=3)
+        report = GraphPulse().run(SSSP(), g)
+        reference = run_reference(SSSP(), g)
+        assert (
+            report.extra["events_processed"]
+            < reference.total_edges_traversed
+        )
+
+    def test_interconnect_caps_graphpulse_scaling(self):
+        """The paper's positioning (Section VI): multi-stage crossbars
+        improve on the plain crossbar 'at a small scale, but still
+        suffer significantly when a large number of PEs is used' — the
+        clock is a third of ScalaGraph's at 256 PEs, and 512 PEs fail
+        to synthesise at all."""
+        from repro.errors import SynthesisError
+        from repro.models.frequency import max_frequency_mhz
+
+        assert GraphPulse().config.clock_mhz < 100.0  # vs ScalaGraph's 250
+        with pytest.raises(SynthesisError):
+            max_frequency_mhz("multistage_crossbar", 512)
+
+    def test_less_work_but_lower_clock_tradeoff(self, graph):
+        """Event-driven execution processes fewer updates; ScalaGraph
+        compensates with 2.5x clock and twice the PEs — the design-space
+        tension the paper resolves with the distributed hierarchy."""
+        from repro.core import ScalaGraph, ScalaGraphConfig
+
+        pulse = GraphPulse().run(PageRank(tolerance=1e-6), graph)
+        scala = ScalaGraph(ScalaGraphConfig()).run(
+            PageRank(max_iters=20, tolerance=1e-6), graph
+        )
+        assert pulse.frequency_mhz < scala.frequency_mhz / 2
+        assert pulse.num_pes < scala.num_pes
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            GraphPulseConfig(num_pes=0)
+        with pytest.raises(ConfigurationError):
+            GraphPulseConfig(events_per_pe_cycle=0)

@@ -1,0 +1,137 @@
+"""Detailed functional simulator: architecture == Figure 1 semantics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, SSSP, ConnectedComponents, PageRank, run_reference
+from repro.core import FunctionalScalaGraph, ScalaGraphConfig
+from repro.graph.generators import grid_graph, rmat_graph, star_graph
+
+
+def small_config(mapping="rom", registers=16):
+    return ScalaGraphConfig(
+        num_tiles=1,
+        pe_rows=4,
+        pe_cols=4,
+        mapping=mapping,
+        aggregation_registers=registers,
+    )
+
+
+class TestEquivalenceWithReference:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bfs(self, seed):
+        g = rmat_graph(6, edge_factor=5, seed=seed)
+        sim = FunctionalScalaGraph(small_config()).run(BFS(), g)
+        ref = run_reference(BFS(), g)
+        assert np.array_equal(sim.properties, ref.properties)
+
+    def test_sssp(self):
+        g = rmat_graph(6, edge_factor=5, seed=3).with_random_weights(1, 50)
+        sim = FunctionalScalaGraph(small_config()).run(SSSP(), g)
+        ref = run_reference(SSSP(), g)
+        assert np.array_equal(sim.properties, ref.properties)
+
+    def test_cc(self, grid):
+        sim = FunctionalScalaGraph(small_config()).run(
+            ConnectedComponents(), grid
+        )
+        ref = run_reference(ConnectedComponents(), grid)
+        assert np.array_equal(sim.properties, ref.properties)
+
+    def test_pagerank_close(self):
+        """Float addition order differs through the pipeline, so compare
+        with tolerance rather than exactly."""
+        g = rmat_graph(6, edge_factor=6, seed=4)
+        sim = FunctionalScalaGraph(small_config()).run(
+            PageRank(max_iters=5), g
+        )
+        ref = run_reference(PageRank(max_iters=5), g)
+        assert np.allclose(sim.properties, ref.properties, rtol=1e-9)
+
+    @pytest.mark.parametrize("mapping", ["som", "rom", "dom"])
+    def test_all_mappings_functionally_equivalent(self, mapping):
+        g = rmat_graph(5, edge_factor=5, seed=5)
+        sim = FunctionalScalaGraph(small_config(mapping=mapping)).run(BFS(), g)
+        ref = run_reference(BFS(), g)
+        assert np.array_equal(sim.properties, ref.properties)
+
+    def test_without_aggregation(self):
+        g = rmat_graph(5, edge_factor=5, seed=6)
+        sim = FunctionalScalaGraph(small_config(registers=0)).run(BFS(), g)
+        ref = run_reference(BFS(), g)
+        assert np.array_equal(sim.properties, ref.properties)
+
+    def test_star_hotspot(self, star):
+        """All updates converge on one SPD slice; results must still be
+        exact."""
+        sim = FunctionalScalaGraph(small_config()).run(BFS(), star)
+        ref = run_reference(BFS(), star)
+        assert np.array_equal(sim.properties, ref.properties)
+
+
+class TestArchitecturalAccounting:
+    def test_aggregation_reduces_injected_updates(self):
+        g = rmat_graph(6, edge_factor=8, seed=7)
+        with_agg = FunctionalScalaGraph(small_config(registers=16)).run(
+            PageRank(max_iters=3), g
+        )
+        without = FunctionalScalaGraph(small_config(registers=0)).run(
+            PageRank(max_iters=3), g
+        )
+        assert with_agg.stats.updates_coalesced > 0
+        assert with_agg.stats.updates_injected < without.stats.updates_injected
+        assert without.stats.updates_coalesced == 0
+
+    def test_conservation_of_updates(self):
+        """Generated = coalesced + injected + local deliveries."""
+        g = rmat_graph(6, edge_factor=5, seed=8)
+        sim = FunctionalScalaGraph(small_config()).run(BFS(), g)
+        stats = sim.stats
+        local = stats.spd_reduces - stats.updates_injected
+        assert (
+            stats.updates_generated
+            == stats.updates_coalesced + stats.updates_injected + local
+        )
+
+    def test_rom_fewer_hops_than_som(self):
+        g = rmat_graph(6, edge_factor=8, seed=9)
+        rom = FunctionalScalaGraph(small_config("rom", registers=0)).run(
+            PageRank(max_iters=2), g
+        )
+        som = FunctionalScalaGraph(small_config("som", registers=0)).run(
+            PageRank(max_iters=2), g
+        )
+        assert rom.stats.noc_hops < som.stats.noc_hops
+
+    def test_dom_uses_no_network_in_scatter(self):
+        g = rmat_graph(5, edge_factor=5, seed=10)
+        sim = FunctionalScalaGraph(small_config("dom", registers=0)).run(
+            BFS(), g
+        )
+        assert sim.stats.noc_hops == 0  # everything reduces locally
+
+    def test_rom_hops_match_mapping_model_without_aggregation(self):
+        """The detailed simulator's hop count must equal the analytic
+        link-load accounting when nothing coalesces — the cross-check
+        that validates the at-scale timing model."""
+        from repro.algorithms.reference import gather_frontier_edges
+        from repro.mapping import RowOrientedMapping
+        from repro.noc.topology import MeshTopology
+
+        g = rmat_graph(6, edge_factor=4, seed=11)
+        config = small_config("rom", registers=0)
+        sim = FunctionalScalaGraph(config).run(PageRank(max_iters=1), g)
+        mapping = RowOrientedMapping(MeshTopology(4, 4))
+        src, dst, _ = gather_frontier_edges(
+            g, np.arange(g.num_vertices)
+        )
+        expected = mapping.scatter_traffic(src, dst).total_hops
+        assert sim.stats.per_iteration_hops[0] == expected
+
+    def test_iteration_counts_match_reference(self):
+        g = rmat_graph(6, edge_factor=5, seed=12)
+        sim = FunctionalScalaGraph(small_config()).run(BFS(), g)
+        ref = run_reference(BFS(), g)
+        assert sim.stats.iterations == ref.num_iterations
+        assert sim.converged == ref.converged

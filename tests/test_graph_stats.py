@@ -1,0 +1,100 @@
+"""Degree-statistics tests — including the dataset-fidelity checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+from repro.graph.generators import erdos_renyi, rmat_graph, star_graph
+from repro.graph.stats import degree_histogram, degree_statistics
+
+
+class TestBasics:
+    def test_mean_matches_average_degree(self, small_rmat):
+        stats = degree_statistics(small_rmat)
+        assert stats.mean == pytest.approx(small_rmat.average_degree)
+
+    def test_max(self, star):
+        assert degree_statistics(star).maximum == 12
+
+    def test_in_vs_out(self, star):
+        out_stats = degree_statistics(star, "out")
+        in_stats = degree_statistics(star, "in")
+        assert out_stats.maximum == 12  # the hub
+        assert in_stats.maximum == 1  # leaves
+
+    def test_invalid_direction(self, star):
+        with pytest.raises(GraphFormatError):
+            degree_statistics(star, "sideways")
+
+    def test_empty_graph(self):
+        with pytest.raises(GraphFormatError):
+            degree_statistics(CSRGraph.from_edges(0, []))
+
+
+class TestSkewMetrics:
+    def test_gini_zero_for_regular_graph(self):
+        n = 16
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        stats = degree_statistics(CSRGraph.from_edges(n, edges))
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_high_for_star(self, star):
+        assert degree_statistics(star).gini > 0.85
+
+    def test_rmat_more_skewed_than_uniform(self):
+        skewed = rmat_graph(10, edge_factor=16, a=0.6, b=0.15, c=0.15, seed=0)
+        flat = erdos_renyi(1024, 16 * 1024, seed=0)
+        assert (
+            degree_statistics(skewed).gini > degree_statistics(flat).gini
+        )
+        assert degree_statistics(skewed).skewed
+        assert not degree_statistics(flat).skewed
+
+    def test_power_law_exponent_range(self):
+        g = rmat_graph(11, edge_factor=16, seed=1)
+        alpha = degree_statistics(g).power_law_exponent
+        # Real-world power laws live in roughly (1.5, 3.5).
+        assert 1.2 < alpha < 4.0
+
+    def test_exponent_inf_for_degenerate(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        assert degree_statistics(g).power_law_exponent == float("inf")
+
+
+class TestDatasetFidelity:
+    """The substitution contract: stand-ins preserve the degree skew
+    the paper's load-balance results depend on."""
+
+    @pytest.mark.parametrize("name", DATASET_ORDER)
+    def test_standins_are_power_law(self, name):
+        graph = load_dataset(name, scale_shift=-2)
+        stats = degree_statistics(graph)
+        assert stats.skewed
+        assert stats.maximum > 10 * stats.mean
+
+    def test_twitter_most_concentrated(self):
+        shares = {
+            name: degree_statistics(
+                load_dataset(name, scale_shift=-2)
+            ).top1pct_edge_share
+            for name in ("OR", "TW")
+        }
+        assert shares["TW"] > shares["OR"]
+
+
+class TestHistogram:
+    def test_counts_cover_all_vertices(self, medium_rmat):
+        rows = degree_histogram(medium_rmat, bins=8)
+        assert sum(count for _, _, count in rows) == medium_rmat.num_vertices
+
+    def test_zero_bin_reported(self):
+        g = CSRGraph.from_edges(5, [(0, 1)])
+        rows = degree_histogram(g)
+        assert rows[0] == (0, 0, 4)
+
+    def test_log_spaced_bins(self, medium_rmat):
+        rows = degree_histogram(medium_rmat, bins=6)
+        los = [lo for lo, _, _ in rows if lo > 0]
+        assert los == sorted(los)

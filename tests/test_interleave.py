@@ -1,0 +1,101 @@
+"""HBM channel-interleaving tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.hbm import HBMConfig
+from repro.memory.interleave import ChannelInterleaver
+
+
+@pytest.fixture
+def il():
+    return ChannelInterleaver()
+
+
+class TestMapping:
+    def test_granularity_blocks(self, il):
+        assert il.channel_of(np.array([0, 255]))[0] == il.channel_of(
+            np.array([0, 255])
+        )[1]
+        assert il.channel_of(np.array([0]))[0] != il.channel_of(
+            np.array([256])
+        )[0]
+
+    def test_wraps_over_channels(self, il):
+        addr = np.arange(0, 256 * 64, 256)
+        channels = il.channel_of(addr)
+        assert set(channels) == set(range(32))
+
+    def test_rejects_negative(self, il):
+        with pytest.raises(ConfigurationError):
+            il.channel_of(np.array([-1]))
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ConfigurationError):
+            ChannelInterleaver(granularity=0)
+
+
+class TestStreams:
+    def test_long_stream_balanced(self, il):
+        """A sequential megabyte spreads within one block per channel."""
+        report = il.stream_report(0, 1 << 20)
+        assert report.imbalance < 1.01
+        assert report.total_bytes == 1 << 20
+
+    def test_partial_blocks_accounted(self, il):
+        report = il.stream_report(100, 300)
+        assert report.total_bytes == 300
+
+    def test_tiny_stream_hits_one_channel(self, il):
+        report = il.stream_report(0, 64)
+        assert np.count_nonzero(report.bytes_per_channel) == 1
+
+    def test_empty_stream(self, il):
+        report = il.stream_report(0, 0)
+        assert report.total_bytes == 0
+        assert report.imbalance == 1.0
+
+    def test_rejects_negative_stream(self, il):
+        with pytest.raises(ConfigurationError):
+            il.stream_report(-1, 10)
+
+
+class TestScatteredAccess:
+    def test_pathological_stride_hits_one_channel(self, il):
+        """A stride equal to channels x granularity lands every access
+        on one channel — the classic interleaving pathology."""
+        stride = 32 * 256
+        addrs = np.arange(0, stride * 100, stride)
+        report = il.access_report(addrs)
+        assert report.imbalance == pytest.approx(32.0)
+
+    def test_random_accesses_roughly_balanced(self, il):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 30, 20_000)
+        report = il.access_report(addrs)
+        assert report.imbalance < 1.2
+
+    def test_effective_cycles_penalise_imbalance(self, il):
+        balanced = il.stream_report(0, 1 << 20)
+        stride = 32 * 256
+        skewed = il.access_report(
+            np.arange(0, stride * 64, stride), bytes_per_access=256
+        )
+        freq = 250e6
+        balanced_cycles = il.effective_cycles(balanced, freq)
+        skewed_cycles = il.effective_cycles(skewed, freq)
+        # The skewed batch moves 64x fewer bytes but takes longer per
+        # byte: effective bandwidth collapses to one channel.
+        assert skewed.total_bytes < balanced.total_bytes / 32
+        assert skewed_cycles > balanced_cycles / 64
+
+    def test_effective_cycles_rejects_bad_frequency(self, il):
+        with pytest.raises(ConfigurationError):
+            il.effective_cycles(il.stream_report(0, 64), 0)
+
+
+class TestConfigCoupling:
+    def test_channel_count_follows_config(self):
+        il = ChannelInterleaver(HBMConfig(num_stacks=1))
+        assert il.num_channels == 16

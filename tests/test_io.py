@@ -1,0 +1,80 @@
+"""Unit tests for graph serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import load_csr, load_edge_list, save_csr, save_edge_list
+
+
+class TestEdgeListRoundTrip:
+    def test_unweighted(self, small_rmat, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_rmat, path)
+        loaded = load_edge_list(path, num_vertices=small_rmat.num_vertices)
+        assert sorted(loaded.edges()) == sorted(small_rmat.edges())
+
+    def test_weighted(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(tiny_graph, path)
+        loaded = load_edge_list(path, num_vertices=5)
+        assert loaded.is_weighted
+        assert sorted(loaded.weights) == sorted(tiny_graph.weights)
+
+    def test_infers_num_vertices(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(tiny_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_vertices == 5
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n1 2\n# trailing\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_name_from_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert load_edge_list(path).name == "mygraph"
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_rejects_partial_weights(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 5\n1 2\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+
+class TestCsrRoundTrip:
+    def test_unweighted(self, small_rmat, tmp_path):
+        path = tmp_path / "g.npz"
+        save_csr(small_rmat, path)
+        loaded = load_csr(path)
+        assert np.array_equal(loaded.indptr, small_rmat.indptr)
+        assert np.array_equal(loaded.indices, small_rmat.indices)
+        assert loaded.name == small_rmat.name
+
+    def test_weighted(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_csr(tiny_graph, path)
+        loaded = load_csr(path)
+        assert np.array_equal(loaded.weights, tiny_graph.weights)
+
+    def test_missing_arrays(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_csr(path)

@@ -1,0 +1,153 @@
+"""Workload-mapping tests: the Section IV-A / Table II properties."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import gather_frontier_edges
+from repro.graph.generators import rmat_graph
+from repro.mapping import (
+    DestinationOrientedMapping,
+    RowOrientedMapping,
+    SourceOrientedMapping,
+    make_mapping,
+    vertex_home,
+)
+from repro.noc.topology import MeshTopology
+
+
+@pytest.fixture
+def topo():
+    return MeshTopology(4, 4)
+
+
+@pytest.fixture
+def edges(medium_rmat):
+    active = np.arange(medium_rmat.num_vertices)
+    src, dst, _ = gather_frontier_edges(medium_rmat, active)
+    return src, dst
+
+
+class TestRegistry:
+    def test_make_mapping(self, topo):
+        assert isinstance(make_mapping("som", topo), SourceOrientedMapping)
+        assert isinstance(make_mapping("DOM", topo), DestinationOrientedMapping)
+        assert isinstance(make_mapping("rom", topo), RowOrientedMapping)
+
+    def test_unknown(self, topo):
+        with pytest.raises(KeyError):
+            make_mapping("xyz", topo)
+
+    def test_vertex_home_hash(self):
+        homes = vertex_home(np.arange(100), 16)
+        assert np.array_equal(homes, np.arange(100) % 16)
+
+
+class TestExecutionPlacement:
+    def test_som_executes_at_source_home(self, topo, edges):
+        src, dst = edges
+        mapping = SourceOrientedMapping(topo)
+        assert np.array_equal(mapping.execution_pe(src, dst), src % 16)
+
+    def test_dom_executes_at_destination_home(self, topo, edges):
+        src, dst = edges
+        mapping = DestinationOrientedMapping(topo)
+        assert np.array_equal(mapping.execution_pe(src, dst), dst % 16)
+
+    def test_rom_row_of_source_column_of_destination(self, topo, edges):
+        """The defining ROM rule: execution PE shares the source's home
+        row and the destination's home column (Figure 10d)."""
+        src, dst = edges
+        mapping = RowOrientedMapping(topo)
+        pes = mapping.execution_pe(src, dst)
+        assert np.array_equal(topo.rows_of(pes), topo.rows_of(src % 16))
+        assert np.array_equal(topo.cols_of(pes), topo.cols_of(dst % 16))
+
+
+class TestScatterTraffic:
+    def test_dom_scatter_is_free(self, topo, edges):
+        src, dst = edges
+        traffic = DestinationOrientedMapping(topo).scatter_traffic(src, dst)
+        assert traffic.num_messages == 0
+        assert traffic.total_hops == 0
+
+    def test_rom_uses_only_vertical_links(self, topo, edges):
+        src, dst = edges
+        traffic = RowOrientedMapping(topo).scatter_traffic(src, dst)
+        assert traffic.link_report.east.sum() == 0
+        assert traffic.link_report.west.sum() == 0
+        assert traffic.link_report.south.sum() + traffic.link_report.north.sum() > 0
+
+    def test_rom_halves_som_traffic(self, topo, edges):
+        """Table II: ROM's Scatter traffic is ~half of SOM's on a square
+        mesh (the row dimension becomes local)."""
+        src, dst = edges
+        som = SourceOrientedMapping(topo).scatter_traffic(src, dst)
+        rom = RowOrientedMapping(topo).scatter_traffic(src, dst)
+        assert rom.total_hops < som.total_hops
+        assert rom.total_hops == pytest.approx(som.total_hops / 2, rel=0.15)
+
+    def test_som_average_hops_scale_sqrt_k(self, edges):
+        """O(M sqrt(K)): doubling mesh side doubles average hops."""
+        src, dst = edges
+        small = SourceOrientedMapping(MeshTopology(4, 4)).scatter_traffic(src, dst)
+        large = SourceOrientedMapping(MeshTopology(8, 8)).scatter_traffic(src, dst)
+        assert large.average_hops == pytest.approx(
+            2 * small.average_hops, rel=0.1
+        )
+
+    def test_som_counts_only_remote(self, topo):
+        # All edges land on the source's own PE: no traffic.
+        src = np.arange(16, dtype=np.int64)
+        traffic = SourceOrientedMapping(topo).scatter_traffic(src, src)
+        assert traffic.num_messages == 0
+
+
+class TestApplyTraffic:
+    def test_som_rom_apply_free(self, topo):
+        updated = np.arange(100)
+        assert SourceOrientedMapping(topo).apply_traffic(updated).total_hops == 0
+        assert RowOrientedMapping(topo).apply_traffic(updated).total_hops == 0
+
+    def test_dom_apply_scales_with_k(self, topo):
+        """Table II: DOM's Apply traffic is O(N * K)."""
+        updated = np.arange(100)
+        traffic = DestinationOrientedMapping(topo).apply_traffic(updated)
+        assert traffic.num_messages == 100 * 15
+        bigger = DestinationOrientedMapping(MeshTopology(8, 8)).apply_traffic(
+            updated
+        )
+        assert bigger.num_messages == 100 * 63
+
+
+class TestOffchipAndStorage:
+    def test_som_rom_offchip_linear(self, topo):
+        som = SourceOrientedMapping(topo)
+        assert som.offchip_bytes(10, 100) == 10 * 8 + 100 * 4
+        assert som.replica_storage_vertices(1000) == 0
+
+    def test_dom_offchip_nk(self, topo):
+        dom = DestinationOrientedMapping(topo)
+        assert dom.offchip_bytes(10, 100) == 10 * 16 * 8 + 100 * 4
+
+    def test_dom_replica_storage_nk(self, topo):
+        dom = DestinationOrientedMapping(topo)
+        assert dom.replica_storage_vertices(1000) == 16_000
+
+
+class TestTableIIOrdering:
+    def test_total_scatter_plus_apply_rom_minimal(self, edges):
+        """ROM yields the least total on-chip traffic of the three
+        mappings for a frontier with many updates (Table II's headline:
+        the smallest communication traffic in total)."""
+        topo = MeshTopology(8, 8)
+        src, dst = edges
+        updated = np.unique(dst)
+        totals = {}
+        for name in ("som", "dom", "rom"):
+            mapping = make_mapping(name, topo)
+            totals[name] = (
+                mapping.scatter_traffic(src, dst).total_hops
+                + mapping.apply_traffic(updated).total_hops
+            )
+        assert totals["rom"] < totals["som"]
+        assert totals["rom"] < totals["dom"]

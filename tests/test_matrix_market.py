@@ -1,0 +1,108 @@
+"""MatrixMarket loader tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import load_matrix_market
+
+
+def write_mtx(tmp_path, body, header="%%MatrixMarket matrix coordinate pattern general"):
+    path = tmp_path / "g.mtx"
+    path.write_text(header + "\n" + body)
+    return path
+
+
+class TestLoad:
+    def test_pattern_general(self, tmp_path):
+        path = write_mtx(tmp_path, "3 3 3\n1 2\n2 3\n3 1\n")
+        g = load_matrix_market(path)
+        assert g.num_vertices == 3
+        assert sorted(g.edges()) == [(0, 1), (1, 2), (2, 0)]
+        assert not g.is_weighted
+
+    def test_real_weights_rounded(self, tmp_path):
+        path = write_mtx(
+            tmp_path,
+            "2 2 2\n1 2 3.0\n2 1 4.6\n",
+            header="%%MatrixMarket matrix coordinate real general",
+        )
+        g = load_matrix_market(path)
+        assert g.is_weighted
+        assert sorted(g.weights.tolist()) == [3, 5]
+
+    def test_symmetric_mirrors_edges(self, tmp_path):
+        path = write_mtx(
+            tmp_path,
+            "3 3 2\n1 2\n2 3\n",
+            header="%%MatrixMarket matrix coordinate pattern symmetric",
+        )
+        g = load_matrix_market(path)
+        assert sorted(g.edges()) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+    def test_symmetric_diagonal_not_doubled(self, tmp_path):
+        path = write_mtx(
+            tmp_path,
+            "2 2 2\n1 1\n1 2\n",
+            header="%%MatrixMarket matrix coordinate pattern symmetric",
+        )
+        g = load_matrix_market(path)
+        assert sorted(g.edges()) == [(0, 0), (0, 1), (1, 0)]
+
+    def test_comments_skipped(self, tmp_path):
+        path = write_mtx(tmp_path, "% a comment\n2 2 1\n1 2\n")
+        g = load_matrix_market(path)
+        assert g.num_edges == 1
+
+    def test_rectangular_uses_max_dimension(self, tmp_path):
+        path = write_mtx(tmp_path, "2 5 1\n1 5\n")
+        g = load_matrix_market(path)
+        assert g.num_vertices == 5
+
+    def test_name_default(self, tmp_path):
+        path = write_mtx(tmp_path, "1 1 0\n")
+        assert load_matrix_market(path).name == "g"
+
+    def test_runs_algorithms(self, tmp_path):
+        from repro.algorithms import BFS, run_reference
+
+        path = write_mtx(tmp_path, "4 4 3\n1 2\n2 3\n3 4\n")
+        g = load_matrix_market(path)
+        result = run_reference(BFS(root=0), g)
+        assert result.properties[3] == 3
+
+
+class TestErrors:
+    def test_not_matrix_market(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("hello\n1 1 0\n")
+        with pytest.raises(GraphFormatError):
+            load_matrix_market(path)
+
+    def test_unsupported_field(self, tmp_path):
+        path = write_mtx(
+            tmp_path,
+            "1 1 0\n",
+            header="%%MatrixMarket matrix coordinate complex general",
+        )
+        with pytest.raises(GraphFormatError):
+            load_matrix_market(path)
+
+    def test_unsupported_symmetry(self, tmp_path):
+        path = write_mtx(
+            tmp_path,
+            "1 1 0\n",
+            header="%%MatrixMarket matrix coordinate pattern hermitian",
+        )
+        with pytest.raises(GraphFormatError):
+            load_matrix_market(path)
+
+    def test_bad_size_line(self, tmp_path):
+        path = write_mtx(tmp_path, "nope\n")
+        with pytest.raises(GraphFormatError):
+            load_matrix_market(path)
+
+    def test_truncated_entries(self, tmp_path):
+        path = write_mtx(tmp_path, "3 3 5\n1 2\n")
+        with pytest.raises(GraphFormatError):
+            load_matrix_market(path)

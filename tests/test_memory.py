@@ -1,0 +1,165 @@
+"""HBM, scratchpad, and memory-request model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memory.hbm import HBMConfig, HBMModel
+from repro.memory.request import AccessType, MemoryRequest, cachelines_touched
+from repro.memory.spd import ScratchpadConfig, ScratchpadSlice, slice_of
+
+
+class TestHBMConfig:
+    def test_u280_defaults(self):
+        cfg = HBMConfig()
+        assert cfg.num_stacks == 2
+        assert cfg.num_pseudo_channels == 32
+        assert cfg.total_bandwidth_gbs == 460.0
+        assert cfg.bandwidth_per_stack_gbs == 230.0
+        assert cfg.bandwidth_per_channel_gbs == pytest.approx(14.375)
+
+    def test_unbounded(self):
+        assert HBMConfig.unbounded().total_bandwidth_gbs >= 1e8
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            HBMConfig(num_stacks=0)
+        with pytest.raises(ConfigurationError):
+            HBMConfig(total_bandwidth_gbs=-1)
+        with pytest.raises(ConfigurationError):
+            HBMConfig(access_granularity=0)
+
+
+class TestHBMModel:
+    def test_bytes_per_cycle_at_250mhz(self):
+        model = HBMModel(HBMConfig(), 250e6)
+        assert model.bytes_per_cycle == pytest.approx(1840.0)
+
+    def test_stream_cycles_linear(self):
+        model = HBMModel(HBMConfig(), 250e6)
+        one = model.stream_cycles(1 << 20)
+        two = model.stream_cycles(2 << 20)
+        assert two == pytest.approx(2 * one)
+
+    def test_stream_rounds_to_lines(self):
+        model = HBMModel(HBMConfig(), 250e6)
+        assert model.stream_cycles(1) == model.stream_cycles(64)
+
+    def test_paper_throughput_identity(self):
+        """Section I: at 250 MHz with 4-byte edges, 1 TB/s feeds 1,024
+        edges per cycle."""
+        model = HBMModel(HBMConfig(total_bandwidth_gbs=1024.0), 250e6)
+        edges_per_cycle = model.bytes_per_cycle / 4
+        assert edges_per_cycle == pytest.approx(1024, rel=0.01)
+
+    def test_random_access_amplification(self):
+        model = HBMModel(HBMConfig(), 250e6)
+        # 1024 accesses x 4 B = exactly 64 lines, avoiding rounding noise.
+        random = model.random_access_cycles(1024, useful_bytes_per_access=4)
+        sequential = model.stream_cycles(1024 * 4)
+        assert random == pytest.approx(16 * sequential)
+        assert model.amplification(4) == 16.0
+
+    def test_per_stack_bandwidth(self):
+        model = HBMModel(HBMConfig(), 250e6)
+        assert model.bytes_per_cycle_for(1) == pytest.approx(920.0)
+        with pytest.raises(ConfigurationError):
+            model.bytes_per_cycle_for(3)
+
+    def test_zero_traffic(self):
+        model = HBMModel(HBMConfig(), 250e6)
+        assert model.stream_cycles(0) == 0.0
+        assert model.random_access_cycles(0) == 0.0
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            HBMModel(HBMConfig(), 0)
+
+
+class TestScratchpad:
+    def test_paper_capacity(self):
+        """6 MB at 8 B/vertex holds 786,432 vertex properties."""
+        cfg = ScratchpadConfig()
+        assert cfg.capacity_vertices == 786_432
+
+    def test_slice_division(self):
+        cfg = ScratchpadConfig()
+        assert cfg.slice_bytes(512) == (6 << 20) // 512
+        assert cfg.slice_capacity_vertices(512) == 1536
+
+    def test_slice_store_and_reduce(self):
+        spd = ScratchpadSlice(ScratchpadConfig(), num_pes=512)
+        spd.load(10, 5.0)
+        assert spd.read(10) == 5.0
+        assert spd.reduce(10, 3.0, min) == 3.0
+        assert spd.reduce_count == 1
+
+    def test_capacity_enforced(self):
+        cfg = ScratchpadConfig(total_bytes=64, bytes_per_vertex=8)
+        spd = ScratchpadSlice(cfg, num_pes=4)  # 2 vertices per slice
+        spd.load(0, 0.0)
+        spd.load(1, 0.0)
+        with pytest.raises(CapacityError):
+            spd.load(2, 0.0)
+
+    def test_overwrite_does_not_grow(self):
+        cfg = ScratchpadConfig(total_bytes=64, bytes_per_vertex=8)
+        spd = ScratchpadSlice(cfg, num_pes=4)
+        spd.load(0, 0.0)
+        spd.load(1, 0.0)
+        spd.load(0, 9.0)  # update in place
+        assert spd.read(0) == 9.0
+
+    def test_read_missing(self):
+        spd = ScratchpadSlice(ScratchpadConfig(), num_pes=16)
+        with pytest.raises(CapacityError):
+            spd.read(3)
+
+    def test_clear(self):
+        spd = ScratchpadSlice(ScratchpadConfig(), num_pes=16)
+        spd.load(1, 1.0)
+        spd.clear()
+        assert len(spd) == 0
+
+    def test_hash_distribution(self):
+        homes = slice_of(np.arange(1000), 16)
+        counts = np.bincount(homes, minlength=16)
+        assert counts.min() >= 62  # even spread of sequential IDs
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            ScratchpadConfig(total_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ScratchpadConfig().slice_bytes(0)
+
+
+class TestRequests:
+    def test_lines_single(self):
+        req = MemoryRequest(address=0, size=4)
+        assert req.lines() == 1
+
+    def test_lines_straddling(self):
+        req = MemoryRequest(address=60, size=8)
+        assert req.lines() == 2
+
+    def test_lines_exact(self):
+        req = MemoryRequest(address=64, size=64)
+        assert req.lines() == 1
+
+    def test_access_types(self):
+        assert AccessType.EDGE.value == "edge"
+        req = MemoryRequest(0, 4, AccessType.WRITE_BACK)
+        assert req.access is AccessType.WRITE_BACK
+
+    def test_cachelines_touched_dedup(self):
+        addrs = np.array([0, 4, 8, 64, 68])
+        assert cachelines_touched(addrs, 64) == 2
+
+    def test_cachelines_touched_empty(self):
+        assert cachelines_touched(np.array([]), 64) == 0
+
+    def test_cachelines_worst_case_amplification(self):
+        """Section II-A: up to 129x more traffic when every 4-byte access
+        lands on a distinct line — each access moves a full line."""
+        addrs = np.arange(0, 129 * 64, 64)
+        assert cachelines_touched(addrs, 64) == 129

@@ -1,0 +1,80 @@
+"""Multi-flit packet tests: serialisation over narrow links."""
+
+import numpy as np
+import pytest
+
+from repro.noc.mesh import MeshNetwork
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology
+
+
+def drained(topology, packets, **kwargs):
+    net = MeshNetwork(topology, **kwargs)
+    for p in packets:
+        net.schedule(p)
+    stats = net.run_until_drained()
+    return net, stats
+
+
+class TestLatency:
+    def test_single_flit_unchanged(self):
+        topo = MeshTopology(1, 4)
+        p = Packet(src=0, dst=3, flits=1)
+        drained(topo, [p])
+        assert p.latency == 3
+
+    def test_store_and_forward_latency(self):
+        """A 4-flit packet takes flits cycles per hop (store-and-forward)."""
+        topo = MeshTopology(1, 4)
+        p = Packet(src=0, dst=3, flits=4)
+        drained(topo, [p])
+        # 3 hops x 4 cycles each, plus final ejection serialisation.
+        assert p.latency == pytest.approx(3 * 4 + 3, abs=4)
+
+    def test_zero_hop_delivery(self):
+        topo = MeshTopology(2, 2)
+        p = Packet(src=1, dst=1, flits=4)
+        drained(topo, [p])
+        assert p.delivered_cycle is not None
+
+
+class TestThroughput:
+    def test_link_occupancy_halves_throughput(self):
+        """2-flit packets through one link take ~2x the cycles of
+        1-flit packets."""
+        topo = MeshTopology(1, 2)
+        single = [Packet(src=0, dst=1, flits=1) for _ in range(50)]
+        double = [Packet(src=0, dst=1, flits=2) for _ in range(50)]
+        _, s1 = drained(topo, single)
+        _, s2 = drained(topo, double)
+        assert s2.cycles == pytest.approx(2 * s1.cycles, rel=0.15)
+
+    def test_mixed_sizes_all_delivered(self):
+        topo = MeshTopology(3, 3)
+        rng = np.random.default_rng(0)
+        packets = [
+            Packet(
+                src=int(rng.integers(0, 9)),
+                dst=int(rng.integers(0, 9)),
+                flits=int(rng.integers(1, 5)),
+            )
+            for _ in range(150)
+        ]
+        net, stats = drained(topo, packets)
+        assert stats.delivered == 150
+        assert len({p.pid for p in net.delivered}) == 150
+
+    def test_big_packets_with_tiny_buffers(self):
+        topo = MeshTopology(2, 2)
+        packets = [Packet(src=0, dst=3, flits=8) for _ in range(10)]
+        _, stats = drained(topo, packets, buffer_depth=1)
+        assert stats.delivered == 10
+
+    def test_hop_count_independent_of_flits(self):
+        """Hops count packet moves, not flit-cycles."""
+        topo = MeshTopology(1, 4)
+        p1 = Packet(src=0, dst=3, flits=1)
+        p4 = Packet(src=0, dst=3, flits=4)
+        _, s1 = drained(topo, [p1])
+        _, s4 = drained(topo, [p4])
+        assert s1.total_hops == s4.total_hops == 3

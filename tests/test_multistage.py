@@ -1,0 +1,104 @@
+"""Concentrated (multi-stage) crossbar tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.crossbar import CrossbarSwitch
+from repro.noc.multistage import ConcentratedCrossbar
+from repro.noc.packet import Packet
+
+
+class TestConstruction:
+    def test_radix_reduction(self):
+        xb = ConcentratedCrossbar(16, concentration=4)
+        assert xb.radix == 4
+        assert xb.port_of(0) == 0
+        assert xb.port_of(15) == 3
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            ConcentratedCrossbar(0)
+        with pytest.raises(ConfigurationError):
+            ConcentratedCrossbar(10, concentration=4)  # not divisible
+
+
+class TestDelivery:
+    def test_everything_delivered(self):
+        xb = ConcentratedCrossbar(16, concentration=4)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            xb.inject(
+                Packet(
+                    src=int(rng.integers(0, 16)),
+                    dst=int(rng.integers(0, 16)),
+                )
+            )
+        stats = xb.run_until_drained()
+        assert stats.delivered == 100
+
+    def test_payload_preserved(self):
+        xb = ConcentratedCrossbar(8, concentration=2)
+        xb.inject(Packet(src=1, dst=6, vertex=9, value=2.5))
+        xb.run_until_drained()
+        delivered = xb.delivered[0]
+        assert delivered.vertex == 9 and delivered.value == 2.5
+        assert delivered.dst == 6
+
+    def test_out_of_range_rejected(self):
+        xb = ConcentratedCrossbar(8, concentration=2)
+        with pytest.raises(ConfigurationError):
+            xb.inject(Packet(src=9, dst=0))
+
+
+class TestSerialisation:
+    def test_shared_port_serialises(self):
+        """Four PEs behind one port: simultaneous injections take four
+        cycles to enter the switch — the concentration cost."""
+        xb = ConcentratedCrossbar(16, concentration=4)
+        for pe in range(4):  # all share port 0
+            xb.inject(Packet(src=pe, dst=8 + pe))
+        stats = xb.run_until_drained()
+        assert stats.cycles >= 4
+        assert stats.concentrator_stalls > 0
+
+    def test_slower_than_full_crossbar_under_load(self):
+        """The same permutation storm finishes faster on the full
+        crossbar — the efficiency the radix reduction gives up."""
+        rng = np.random.default_rng(1)
+        pairs = [
+            (int(rng.integers(0, 16)), int(rng.integers(0, 16)))
+            for _ in range(200)
+        ]
+        conc = ConcentratedCrossbar(16, concentration=4)
+        full = CrossbarSwitch(16, 16)
+        for s, d in pairs:
+            conc.inject(Packet(src=s, dst=d))
+            full.inject(Packet(src=s, dst=d))
+        conc_stats = conc.run_until_drained()
+        full_stats = full.run_until_drained()
+        assert conc_stats.cycles > full_stats.cycles
+
+    def test_concentration_one_close_to_crossbar(self):
+        """With concentration 1 the behaviour approaches the plain
+        crossbar (plus the fixed pipeline stages)."""
+        rng = np.random.default_rng(2)
+        pairs = [
+            (int(rng.integers(0, 8)), int(rng.integers(0, 8)))
+            for _ in range(100)
+        ]
+        conc = ConcentratedCrossbar(8, concentration=1)
+        full = CrossbarSwitch(8, 8)
+        for s, d in pairs:
+            conc.inject(Packet(src=s, dst=d))
+            full.inject(Packet(src=s, dst=d))
+        assert conc.run_until_drained().cycles <= full.run_until_drained().cycles + 3
+
+    def test_fairness_across_concentrated_pes(self):
+        xb = ConcentratedCrossbar(8, concentration=4)
+        for _ in range(5):
+            for pe in range(4):
+                xb.inject(Packet(src=pe, dst=4))
+        xb.run_until_drained()
+        order = [p.src for p in xb.delivered]
+        assert set(order[:4]) == {0, 1, 2, 3}  # round-robin admits all

@@ -1,0 +1,146 @@
+"""Analytic NoC model tests, cross-checked against the detailed simulators."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import gather_frontier_edges
+from repro.core.noc_model import (
+    apply_noc_service_cycles,
+    scatter_noc_stats,
+    survivor_mask,
+)
+from repro.mapping import (
+    DestinationOrientedMapping,
+    RowOrientedMapping,
+    SourceOrientedMapping,
+)
+from repro.noc.aggregation import window_coalesce_count
+from repro.noc.topology import MeshTopology
+
+
+@pytest.fixture
+def topo():
+    return MeshTopology(4, 4)
+
+
+def frontier_edges(graph):
+    active = np.arange(graph.num_vertices)
+    src, dst, _ = gather_frontier_edges(graph, active)
+    return src, dst
+
+
+class TestSurvivorMask:
+    def test_no_window_keeps_all(self):
+        dst = np.array([1, 1, 1])
+        col = np.zeros(3, dtype=np.int64)
+        assert survivor_mask(dst, col, 0).all()
+
+    def test_adjacent_duplicates_coalesce(self):
+        dst = np.array([5, 5, 5])
+        col = np.zeros(3, dtype=np.int64)
+        mask = survivor_mask(dst, col, 1)
+        assert mask.tolist() == [True, False, False]
+
+    def test_first_occurrence_always_survives(self):
+        rng = np.random.default_rng(0)
+        dst = rng.integers(0, 20, 200)
+        col = dst % 4
+        mask = survivor_mask(dst, col, 64)
+        for v in np.unique(dst):
+            assert mask[dst == v].any()
+
+    def test_columns_are_independent(self):
+        # Same vertex id cannot appear in two columns (col is a function
+        # of dst), but interleaving across columns must not break gaps.
+        dst = np.array([0, 1, 0, 1, 0, 1])
+        col = dst % 2
+        mask = survivor_mask(dst, col, 1)
+        # Within each column stream the duplicates are adjacent.
+        assert mask.sum() == 2
+
+    def test_matches_window_coalesce_count_single_column(self):
+        rng = np.random.default_rng(1)
+        dst = rng.integers(0, 15, 300)
+        col = np.zeros(300, dtype=np.int64)
+        for window in (1, 4, 16):
+            mask = survivor_mask(dst, col, window)
+            coalesced = 300 - mask.sum()
+            assert coalesced == window_coalesce_count(dst, window)
+
+    def test_monotone_in_window(self):
+        rng = np.random.default_rng(2)
+        dst = rng.integers(0, 40, 500)
+        col = dst % 4
+        survivors = [
+            survivor_mask(dst, col, w).sum() for w in (0, 1, 4, 16, 64)
+        ]
+        assert survivors == sorted(survivors, reverse=True)
+
+    def test_empty(self):
+        assert survivor_mask(np.array([]), np.array([]), 8).size == 0
+
+
+class TestScatterStats:
+    def test_dom_has_no_noc_traffic(self, topo, medium_rmat):
+        src, dst = frontier_edges(medium_rmat)
+        stats = scatter_noc_stats(DestinationOrientedMapping(topo), src, dst, 16)
+        assert stats.messages == 0
+        assert stats.service_cycles == 0.0
+        assert stats.spd_service_cycles > 0
+
+    def test_rom_less_traffic_than_som(self, topo, medium_rmat):
+        src, dst = frontier_edges(medium_rmat)
+        rom = scatter_noc_stats(RowOrientedMapping(topo), src, dst, 0)
+        som = scatter_noc_stats(SourceOrientedMapping(topo), src, dst, 0)
+        assert rom.total_hops < som.total_hops
+
+    def test_aggregation_reduces_hops_and_spd(self, topo, medium_rmat):
+        src, dst = frontier_edges(medium_rmat)
+        off = scatter_noc_stats(RowOrientedMapping(topo), src, dst, 0)
+        on = scatter_noc_stats(RowOrientedMapping(topo), src, dst, 64)
+        assert on.coalesced > 0
+        assert on.total_hops < off.total_hops
+        assert on.spd_service_cycles <= off.spd_service_cycles
+        assert off.coalesced == 0
+
+    def test_som_horizontal_links_not_relieved(self, topo, medium_rmat):
+        """Aggregation merges on the destination column, so SOM's
+        horizontal traffic stays put while vertical shrinks."""
+        src, dst = frontier_edges(medium_rmat)
+        off = scatter_noc_stats(SourceOrientedMapping(topo), src, dst, 0)
+        on = scatter_noc_stats(SourceOrientedMapping(topo), src, dst, 64)
+        assert on.total_hops < off.total_hops
+        assert on.messages == off.messages  # injection unchanged for SOM
+
+    def test_empty_phase(self, topo):
+        stats = scatter_noc_stats(
+            RowOrientedMapping(topo),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            16,
+        )
+        assert stats.messages == 0
+        assert stats.service_cycles == 0.0
+
+    def test_hops_match_mapping_accounting_without_aggregation(
+        self, topo, medium_rmat
+    ):
+        src, dst = frontier_edges(medium_rmat)
+        mapping = RowOrientedMapping(topo)
+        stats = scatter_noc_stats(mapping, src, dst, 0)
+        traffic = mapping.scatter_traffic(src, dst)
+        assert stats.total_hops == traffic.total_hops
+        assert stats.messages == traffic.num_messages
+
+
+class TestApplyService:
+    def test_som_rom_free(self, topo):
+        assert apply_noc_service_cycles(SourceOrientedMapping(topo), 100) == 0
+        assert apply_noc_service_cycles(RowOrientedMapping(topo), 100) == 0
+
+    def test_dom_ingest_bound(self, topo):
+        dom = DestinationOrientedMapping(topo)
+        assert apply_noc_service_cycles(dom, 100) >= 100
+
+    def test_dom_zero_updates(self, topo):
+        assert apply_noc_service_cycles(DestinationOrientedMapping(topo), 0) == 0

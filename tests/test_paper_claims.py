@@ -1,0 +1,78 @@
+"""Fast end-to-end checks of the paper's headline claims.
+
+The full reproductions live in ``benchmarks/``; these are smoke-sized
+versions (quarter-scale graphs, capped iterations) that keep the central
+claims under continuous test in the unit suite.
+"""
+
+import pytest
+
+from repro.experiments import run_matrix
+from repro.models.area import resource_utilization
+from repro.models.frequency import max_frequency_mhz, synthesizes
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """Quarter-scale Figure 14 matrix: 2 graphs x 2 algorithms."""
+    return run_matrix(
+        graphs=["PK", "TW"],
+        algorithms=["cc", "pagerank"],
+        scale_shift=-1,
+        max_iterations=8,
+    )
+
+
+class TestFigure14Orderings:
+    def test_scalagraph512_wins_everywhere(self, matrix):
+        for graph, algorithm in matrix.cells():
+            sg512 = matrix.gteps(graph, algorithm, "ScalaGraph-512")
+            for other in (
+                "Gunrock",
+                "GraphDynS-128",
+                "GraphDynS-512",
+                "ScalaGraph-128",
+            ):
+                assert sg512 > matrix.gteps(graph, algorithm, other)
+
+    def test_headline_speedup_bands(self, matrix):
+        assert 1.5 < matrix.speedup("ScalaGraph-512", "Gunrock") < 8.0
+        assert 1.2 < matrix.speedup("ScalaGraph-512", "GraphDynS-512") < 4.0
+        assert 2.5 < matrix.speedup("ScalaGraph-512", "GraphDynS-128") < 8.0
+        assert matrix.speedup("ScalaGraph-128", "GraphDynS-128") > 1.0
+
+    def test_scalagraph_scales_with_pes(self, matrix):
+        assert matrix.speedup("ScalaGraph-512", "ScalaGraph-128") > 2.0
+
+
+class TestScalabilityClaims:
+    def test_mesh_scales_where_crossbar_fails(self):
+        """Table IV's core contrast."""
+        assert synthesizes("mesh", 1024)
+        assert not synthesizes("crossbar", 256)
+        assert max_frequency_mhz("mesh", 1024) > 2 * max_frequency_mhz(
+            "crossbar", 128
+        )
+
+    def test_scalagraph_cheaper_at_equal_pes(self):
+        """Figure 16: the mesh design needs about half the logic."""
+        for pes in (128, 512):
+            gd = resource_utilization(pes, "crossbar")
+            sg = resource_utilization(pes, "mesh")
+            assert sg.lut_pct < gd.lut_pct / 1.8
+
+
+class TestEnergyClaims:
+    def test_accelerators_beat_gpu_energy(self, matrix):
+        for graph, algorithm in matrix.cells():
+            gpu = matrix.reports[(graph, algorithm, "Gunrock")]
+            for system in ("ScalaGraph-512", "GraphDynS-128"):
+                accel = matrix.reports[(graph, algorithm, system)]
+                assert accel.energy_joules < gpu.energy_joules
+
+    def test_sg512_most_efficient_accelerator(self, matrix):
+        for graph, algorithm in matrix.cells():
+            sg = matrix.reports[(graph, algorithm, "ScalaGraph-512")]
+            for other in ("GraphDynS-128", "GraphDynS-512"):
+                report = matrix.reports[(graph, algorithm, other)]
+                assert sg.energy_joules < report.energy_joules

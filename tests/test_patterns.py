@@ -1,0 +1,117 @@
+"""Synthetic traffic pattern tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.patterns import (
+    PATTERNS,
+    bit_reversal,
+    generate,
+    hotspot,
+    saturation_throughput,
+    shuffle,
+    tornado,
+    transpose,
+    uniform_random,
+)
+from repro.noc.topology import MeshTopology
+
+
+@pytest.fixture
+def topo():
+    return MeshTopology(4, 4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGenerators:
+    def test_uniform_in_range(self, topo, rng):
+        src, dst = uniform_random(topo, rng, 200)
+        assert src.min() >= 0 and src.max() < 16
+        assert dst.min() >= 0 and dst.max() < 16
+
+    def test_transpose_swaps_coordinates(self, topo, rng):
+        src, dst = transpose(topo, rng, 100)
+        for s, d in zip(src, dst):
+            assert topo.coord(int(d)) == tuple(reversed(topo.coord(int(s))))
+
+    def test_transpose_requires_square(self, rng):
+        with pytest.raises(ConfigurationError):
+            transpose(MeshTopology(2, 4), rng, 10)
+
+    def test_bit_reversal_involution(self, topo, rng):
+        src, dst = bit_reversal(topo, rng, 100)
+        # Reversing twice gives the identity.
+        src2, dst2 = bit_reversal(topo, np.random.default_rng(0), 100)
+        again = np.zeros_like(dst)
+        value = dst.copy()
+        for _ in range(4):
+            again = (again << 1) | (value & 1)
+            value >>= 1
+        assert np.array_equal(again, src)
+
+    def test_bit_reversal_requires_power_of_two(self, rng):
+        with pytest.raises(ConfigurationError):
+            bit_reversal(MeshTopology(3, 3), rng, 10)
+
+    def test_shuffle_rotates_bits(self, topo, rng):
+        src, dst = shuffle(topo, rng, 100)
+        for s, d in zip(src, dst):
+            expected = ((int(s) << 1) | (int(s) >> 3)) & 15
+            assert int(d) == expected
+
+    def test_hotspot_fraction(self, topo, rng):
+        src, dst = hotspot(topo, rng, 2000, hotspot_fraction=0.5, hotspot_node=7)
+        share = np.mean(dst == 7)
+        assert 0.4 < share < 0.6
+
+    def test_hotspot_all(self, topo, rng):
+        _, dst = hotspot(topo, rng, 100, hotspot_fraction=1.0, hotspot_node=3)
+        assert np.all(dst == 3)
+
+    def test_hotspot_rejects_bad_fraction(self, topo, rng):
+        with pytest.raises(ConfigurationError):
+            hotspot(topo, rng, 10, hotspot_fraction=1.5)
+
+    def test_tornado_half_way(self, topo, rng):
+        src, dst = tornado(topo, rng, 100)
+        for s, d in zip(src, dst):
+            sr, sc = topo.coord(int(s))
+            dr, dc = topo.coord(int(d))
+            assert dr == (sr + 1) % 4 and dc == (sc + 1) % 4
+
+    def test_registry_covers_all(self, topo):
+        for name in PATTERNS:
+            src, dst = generate(name, topo, 50, seed=1)
+            assert src.size == dst.size == 50
+
+    def test_unknown_pattern(self, topo):
+        with pytest.raises(ConfigurationError):
+            generate("butterfly", topo, 10)
+
+    def test_deterministic_by_seed(self, topo):
+        a = generate("uniform", topo, 50, seed=5)
+        b = generate("uniform", topo, 50, seed=5)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+class TestSaturation:
+    def test_uniform_throughput_positive(self, topo):
+        thr = saturation_throughput(topo, "uniform", packets=200)
+        assert 0 < thr <= 1.0
+
+    def test_hotspot_throughput_lower_than_uniform(self, topo):
+        uniform = saturation_throughput(topo, "uniform", packets=300)
+        hot = saturation_throughput(topo, "hotspot", packets=300)
+        assert hot < uniform
+
+    def test_permutations_below_uniform(self, topo):
+        """Transpose/bit-reversal concentrate flows on few links —
+        the classic adversaries for dimension-order routing."""
+        uniform_thr = saturation_throughput(topo, "uniform", packets=300)
+        for pattern in ("transpose", "bit_reversal"):
+            assert saturation_throughput(topo, pattern, packets=300) < uniform_thr

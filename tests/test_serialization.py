@@ -1,0 +1,65 @@
+"""Report serialisation tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.algorithms import BFS, run_reference
+from repro.cli import main
+from repro.core import ScalaGraph, ScalaGraphConfig
+from repro.graph.generators import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def report():
+    graph = rmat_graph(8, edge_factor=8, seed=0)
+    ref = run_reference(BFS(), graph)
+    return ScalaGraph(ScalaGraphConfig()).run(BFS(), graph, reference=ref)
+
+
+class TestToDict:
+    def test_headline_fields(self, report):
+        data = report.to_dict()
+        assert data["accelerator"] == "ScalaGraph-512"
+        assert data["gteps"] == pytest.approx(report.gteps)
+        assert data["total_cycles"] == report.total_cycles
+        assert data["num_pes"] == 512
+
+    def test_iterations_included(self, report):
+        data = report.to_dict()
+        assert len(data["iterations"]) == len(report.iterations)
+        first = data["iterations"][0]
+        assert {"index", "edges", "scatter_cycles", "bottleneck"} <= set(first)
+
+    def test_iterations_optional(self, report):
+        data = report.to_dict(include_iterations=False)
+        assert "iterations" not in data
+
+    def test_properties_summarised(self, report):
+        data = report.to_dict()
+        assert data["properties_summary"]["count"] == report.num_vertices
+
+    def test_json_round_trip(self, report):
+        parsed = json.loads(report.to_json())
+        assert parsed["graph"] == report.graph_name
+        assert parsed["extra"]["pipelining_used"] == 1.0
+
+
+class TestCliJson:
+    def test_run_json_output(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "run",
+                "-d", "PK",
+                "-a", "bfs",
+                "--scale-shift", "-4",
+                "--json",
+            ],
+            out=out,
+        )
+        assert code == 0
+        parsed = json.loads(out.getvalue())
+        assert parsed["accelerator"] == "ScalaGraph-512"
+        assert parsed["gteps"] > 0

@@ -1,0 +1,88 @@
+"""Experiment persistence tests."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    compare_to_saved,
+    load_matrix_summaries,
+    run_matrix,
+    save_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(
+        graphs=["PK"],
+        algorithms=["bfs"],
+        systems=["GraphDynS-128", "ScalaGraph-512"],
+        scale_shift=-4,
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, matrix, tmp_path):
+        path = tmp_path / "matrix.json"
+        save_matrix(matrix, path)
+        loaded = load_matrix_summaries(path)
+        assert set(loaded) == set(matrix.reports)
+        for key, report in matrix.reports.items():
+            assert loaded[key]["gteps"] == pytest.approx(report.gteps)
+            assert loaded[key]["total_cycles"] == report.total_cycles
+
+    def test_iterations_persisted(self, matrix, tmp_path):
+        path = tmp_path / "matrix.json"
+        save_matrix(matrix, path)
+        loaded = load_matrix_summaries(path)
+        key = next(iter(loaded))
+        assert len(loaded[key]["iterations"]) == len(
+            matrix.reports[key].iterations
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_matrix_summaries(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_matrix_summaries(path)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 99, "cells": []}))
+        with pytest.raises(ReproError):
+            load_matrix_summaries(path)
+
+
+class TestRegressionCompare:
+    def test_no_drift_against_self(self, matrix, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_matrix(matrix, path)
+        assert compare_to_saved(matrix, path) == {}
+
+    def test_detects_drift(self, matrix, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_matrix(matrix, path)
+        payload = json.loads(path.read_text())
+        payload["cells"][0]["report"]["gteps"] *= 2  # corrupt the baseline
+        path.write_text(json.dumps(payload))
+        drifted = compare_to_saved(matrix, path)
+        assert len(drifted) == 1
+        (old, new), = drifted.values()
+        assert old == pytest.approx(2 * new, rel=1e-9)
+
+    def test_unknown_cells_ignored(self, matrix, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_matrix(matrix, path)
+        partial = run_matrix(
+            graphs=["PK"],
+            algorithms=["bfs"],
+            systems=["ScalaGraph-512"],
+            scale_shift=-4,
+        )
+        assert compare_to_saved(partial, path) == {}

@@ -1,0 +1,140 @@
+"""System-level property-based tests (hypothesis).
+
+These exercise whole-pipeline invariants across randomly generated
+graphs and configurations — the guarantees a downstream user relies on
+regardless of input shape.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BFS, ConnectedComponents, PageRank, run_reference
+from repro.algorithms.reference import gather_frontier_edges
+from repro.core import ScalaGraph, ScalaGraphConfig
+from repro.graph.csr import CSRGraph
+from repro.mapping import make_mapping
+from repro.noc.topology import MeshTopology
+from repro.noc.traffic import xy_hop_counts
+
+
+def graphs(max_vertices=24, max_edges=80):
+    """Strategy generating small random CSR graphs."""
+    return st.integers(2, max_vertices).flatmap(
+        lambda n: st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=max_edges,
+        ).map(lambda edges: CSRGraph.from_edges(n, edges))
+    )
+
+
+class TestGoldEquivalence:
+    @given(graphs())
+    @settings(max_examples=15)
+    def test_accelerator_never_changes_bfs_results(self, graph):
+        accel = ScalaGraph(ScalaGraphConfig(num_tiles=1, pe_cols=2))
+        report = accel.run(BFS(root=0), graph)
+        reference = run_reference(BFS(root=0), graph)
+        assert np.array_equal(report.properties, reference.properties)
+
+    @given(graphs())
+    @settings(max_examples=15)
+    def test_cc_labels_are_minima(self, graph):
+        report = ScalaGraph(ScalaGraphConfig(num_tiles=1, pe_cols=2)).run(
+            ConnectedComponents(), graph
+        )
+        labels = report.properties
+        # Every label must name a vertex inside its own group whose
+        # original ID is the label (labels are minima of their group).
+        for v in range(graph.num_vertices):
+            assert labels[int(labels[v])] == labels[v]
+            assert labels[v] <= v
+
+    @given(graphs())
+    @settings(max_examples=10)
+    def test_pagerank_mass_bounded(self, graph):
+        report = ScalaGraph(ScalaGraphConfig(num_tiles=1, pe_cols=2)).run(
+            PageRank(max_iters=5), graph
+        )
+        # Rank mass can only leak through dangling vertices, never grow.
+        assert report.properties.sum() <= 1.0 + 1e-9
+        assert np.all(report.properties >= 0)
+
+
+class TestTimingInvariants:
+    @given(graphs(), st.sampled_from([1, 2, 4]))
+    @settings(max_examples=15)
+    def test_report_sanity(self, graph, cols):
+        config = ScalaGraphConfig(num_tiles=1, pe_cols=cols)
+        report = ScalaGraph(config).run(BFS(root=0), graph)
+        assert report.total_cycles >= 0
+        assert 0 <= report.pe_utilization <= 1
+        assert report.total_coalesced >= 0
+        assert report.total_offchip_bytes >= 0
+        if report.total_cycles:
+            assert report.gteps >= 0
+
+    @given(graphs())
+    @settings(max_examples=10)
+    def test_aggregation_never_hurts(self, graph):
+        ref = run_reference(PageRank(max_iters=3), graph)
+        on = ScalaGraph(
+            ScalaGraphConfig(num_tiles=1, pe_cols=4)
+        ).run(PageRank(max_iters=3), graph, reference=ref)
+        off = ScalaGraph(
+            ScalaGraphConfig(num_tiles=1, pe_cols=4, aggregation_registers=0)
+        ).run(PageRank(max_iters=3), graph, reference=ref)
+        assert on.total_cycles <= off.total_cycles + 1e-9
+
+    @given(graphs())
+    @settings(max_examples=10)
+    def test_pipelining_never_hurts(self, graph):
+        ref = run_reference(BFS(root=0), graph)
+        on = ScalaGraph(
+            ScalaGraphConfig(num_tiles=1, pe_cols=4)
+        ).run(BFS(root=0), graph, reference=ref)
+        off = ScalaGraph(
+            ScalaGraphConfig(
+                num_tiles=1, pe_cols=4, inter_phase_pipelining=False
+            )
+        ).run(BFS(root=0), graph, reference=ref)
+        assert on.total_cycles <= off.total_cycles + 1e-9
+
+
+class TestMappingInvariants:
+    @given(graphs(), st.sampled_from([(2, 2), (4, 4), (2, 8)]))
+    @settings(max_examples=15)
+    def test_som_hops_equal_pairwise_distances(self, graph, shape):
+        topo = MeshTopology(*shape)
+        mapping = make_mapping("som", topo)
+        src, dst, _ = gather_frontier_edges(
+            graph, np.arange(graph.num_vertices)
+        )
+        traffic = mapping.scatter_traffic(src, dst)
+        expected = int(
+            xy_hop_counts(topo, mapping.home(src), mapping.home(dst)).sum()
+        )
+        assert traffic.total_hops == expected
+
+    @given(graphs(), st.sampled_from([(2, 2), (4, 4)]))
+    @settings(max_examples=15)
+    def test_rom_hops_never_exceed_som(self, graph, shape):
+        topo = MeshTopology(*shape)
+        src, dst, _ = gather_frontier_edges(
+            graph, np.arange(graph.num_vertices)
+        )
+        rom = make_mapping("rom", topo).scatter_traffic(src, dst)
+        som = make_mapping("som", topo).scatter_traffic(src, dst)
+        assert rom.total_hops <= som.total_hops
+
+    @given(graphs(), st.sampled_from([(2, 2), (4, 4)]))
+    @settings(max_examples=15)
+    def test_torus_hops_never_exceed_mesh(self, graph, shape):
+        topo = MeshTopology(*shape)
+        src, dst, _ = gather_frontier_edges(
+            graph, np.arange(graph.num_vertices)
+        )
+        mesh = make_mapping("rom", topo).scatter_traffic(src, dst)
+        torus = make_mapping("rom-torus", topo).scatter_traffic(src, dst)
+        assert torus.total_hops <= mesh.total_hops

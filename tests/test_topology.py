@@ -1,0 +1,113 @@
+"""Unit tests for mesh topology math."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.noc.topology import MeshTopology, manhattan_distance
+
+
+class TestBasics:
+    def test_num_nodes(self):
+        assert MeshTopology(4, 5).num_nodes == 20
+
+    def test_coord_node_roundtrip(self):
+        topo = MeshTopology(4, 5)
+        for node in range(topo.num_nodes):
+            r, c = topo.coord(node)
+            assert topo.node(r, c) == node
+
+    def test_row_major_layout(self):
+        topo = MeshTopology(3, 4)
+        assert topo.coord(0) == (0, 0)
+        assert topo.coord(4) == (1, 0)
+        assert topo.coord(11) == (2, 3)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(0, 4)
+        with pytest.raises(ConfigurationError):
+            MeshTopology(4, -1)
+
+    def test_out_of_range_node(self):
+        topo = MeshTopology(2, 2)
+        with pytest.raises(ConfigurationError):
+            topo.coord(4)
+        with pytest.raises(ConfigurationError):
+            topo.node(2, 0)
+
+
+class TestNeighbors:
+    def test_corner_has_two(self):
+        topo = MeshTopology(4, 4)
+        assert len(list(topo.neighbors(0))) == 2
+
+    def test_edge_has_three(self):
+        topo = MeshTopology(4, 4)
+        assert len(list(topo.neighbors(1))) == 3
+
+    def test_interior_has_four(self):
+        topo = MeshTopology(4, 4)
+        assert len(list(topo.neighbors(5))) == 4
+
+    def test_neighbors_are_adjacent(self):
+        topo = MeshTopology(5, 3)
+        for node in range(topo.num_nodes):
+            for nb in topo.neighbors(node):
+                assert topo.hop_distance(node, nb) == 1
+
+    def test_single_node_mesh(self):
+        topo = MeshTopology(1, 1)
+        assert list(topo.neighbors(0)) == []
+
+
+class TestDistances:
+    def test_manhattan(self):
+        assert manhattan_distance((0, 0), (3, 4)) == 7
+        assert manhattan_distance((2, 2), (2, 2)) == 0
+
+    def test_hop_distance(self):
+        topo = MeshTopology(4, 4)
+        assert topo.hop_distance(0, 15) == 6
+        assert topo.hop_distance(5, 5) == 0
+
+    def test_vectorized_rows_cols(self):
+        topo = MeshTopology(4, 4)
+        nodes = np.arange(16)
+        assert np.array_equal(topo.rows_of(nodes), nodes // 4)
+        assert np.array_equal(topo.cols_of(nodes), nodes % 4)
+
+    def test_average_distance_formula_matches_bruteforce(self):
+        topo = MeshTopology(4, 6)
+        pairs = [
+            topo.hop_distance(a, b)
+            for a in range(topo.num_nodes)
+            for b in range(topo.num_nodes)
+        ]
+        assert topo.average_distance() == pytest.approx(np.mean(pairs))
+
+    def test_average_column_distance_matches_bruteforce(self):
+        topo = MeshTopology(8, 1)
+        pairs = [
+            topo.hop_distance(a, b)
+            for a in range(topo.num_nodes)
+            for b in range(topo.num_nodes)
+        ]
+        assert topo.average_column_distance() == pytest.approx(np.mean(pairs))
+
+    def test_paper_geometry_average_hops(self):
+        """For the paper's flagship geometry (16x32 logical mesh), SOM's
+        mean hop distance should be ~15.9 (the paper reports an average
+        SOM routing latency of 15.6 cycles) and ROM's column-only
+        distance ~5.3 (paper: 5.9 cycles)."""
+        topo = MeshTopology(16, 32)
+        assert topo.average_distance() == pytest.approx(15.95, abs=0.1)
+        assert topo.average_column_distance() == pytest.approx(5.31, abs=0.1)
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    def test_average_distance_nonnegative(self, rows, cols):
+        topo = MeshTopology(rows, cols)
+        assert topo.average_distance() >= 0
+        assert topo.average_column_distance() <= topo.average_distance() + 1e-12

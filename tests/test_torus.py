@@ -1,0 +1,170 @@
+"""Torus NoC tests (the future-work NoC exploration)."""
+
+import numpy as np
+import pytest
+
+from repro.mapping import RowOrientedTorusMapping, make_mapping
+from repro.noc.topology import MeshTopology
+from repro.noc.torus import (
+    TorusTopology,
+    ring_direction,
+    torus_column_link_loads,
+)
+
+
+def brute_force_loads(rows, col, sr, dr, ncols):
+    south = np.zeros((rows, ncols), dtype=np.int64)
+    north = np.zeros((rows, ncols), dtype=np.int64)
+    for c, s, d in zip(col, sr, dr):
+        delta = (d - s) % rows
+        if delta == 0:
+            continue
+        if delta <= rows / 2:
+            r = s
+            for _ in range(delta):
+                south[r, c] += 1
+                r = (r + 1) % rows
+        else:
+            r = s
+            for _ in range(rows - delta):
+                north[(r - 1) % rows, c] += 1
+                r = (r - 1) % rows
+    return south, north
+
+
+class TestTopology:
+    def test_wraparound_distance(self):
+        t = TorusTopology(4, 4)
+        assert t.hop_distance(0, 12) == 1  # row wrap
+        assert t.hop_distance(0, 3) == 1  # col wrap
+        assert t.hop_distance(0, 15) == 2  # both wraps
+
+    def test_distance_never_exceeds_mesh(self):
+        mesh = MeshTopology(5, 6)
+        torus = TorusTopology(5, 6)
+        for a in range(30):
+            for b in range(30):
+                assert torus.hop_distance(a, b) <= mesh.hop_distance(a, b)
+
+    def test_every_node_has_wrap_neighbors(self):
+        t = TorusTopology(4, 4)
+        for node in range(16):
+            neighbors = list(t.neighbors(node))
+            assert len(neighbors) == 4
+            for nb in neighbors:
+                assert t.hop_distance(node, nb) == 1
+
+    def test_degenerate_ring(self):
+        t = TorusTopology(1, 3)
+        # On a 1-row torus there is no vertical movement.
+        assert t.hop_distance(0, 2) == 1  # wrap across the 3-ring
+
+    def test_average_distance_halves_mesh(self):
+        mesh = MeshTopology(16, 16)
+        torus = TorusTopology(16, 16)
+        assert torus.average_distance() == pytest.approx(
+            mesh.average_distance() * 0.755, rel=0.05
+        )
+
+    def test_average_column_distance_bruteforce(self):
+        t = TorusTopology(7, 1)
+        pairs = [
+            t.hop_distance(a, b)
+            for a in range(7)
+            for b in range(7)
+        ]
+        assert t.average_column_distance() == pytest.approx(np.mean(pairs))
+
+
+class TestRingDirection:
+    def test_shorter_way(self):
+        assert ring_direction(np.array([0]), np.array([1]), 8)[0] == 1
+        assert ring_direction(np.array([0]), np.array([7]), 8)[0] == -1
+        assert ring_direction(np.array([3]), np.array([3]), 8)[0] == 0
+
+    def test_tie_breaks_south(self):
+        assert ring_direction(np.array([0]), np.array([4]), 8)[0] == 1
+
+
+class TestLinkLoads:
+    @pytest.mark.parametrize("rows", [2, 3, 5, 8, 16])
+    def test_matches_bruteforce(self, rows):
+        rng = np.random.default_rng(rows)
+        col = rng.integers(0, 4, 250)
+        sr = rng.integers(0, rows, 250)
+        dr = rng.integers(0, rows, 250)
+        report = torus_column_link_loads(rows, col, sr, dr, 4)
+        south, north = brute_force_loads(rows, col, sr, dr, 4)
+        assert np.array_equal(report.south, south)
+        assert np.array_equal(report.north, north)
+
+    def test_total_hops_equal_ring_distances(self):
+        rows = 8
+        rng = np.random.default_rng(0)
+        col = rng.integers(0, 2, 100)
+        sr = rng.integers(0, rows, 100)
+        dr = rng.integers(0, rows, 100)
+        report = torus_column_link_loads(rows, col, sr, dr, 2)
+        delta = (dr - sr) % rows
+        expected = np.minimum(delta, rows - delta).sum()
+        assert report.total_flit_hops == expected
+
+    def test_empty(self):
+        report = torus_column_link_loads(
+            4, np.array([], dtype=int), np.array([], dtype=int),
+            np.array([], dtype=int), 2
+        )
+        assert report.total_flit_hops == 0
+
+
+class TestTorusMapping:
+    def test_registry(self):
+        mapping = make_mapping("rom-torus", MeshTopology(4, 4))
+        assert isinstance(mapping, RowOrientedTorusMapping)
+
+    def test_fewer_hops_than_mesh_rom(self, medium_rmat):
+        from repro.algorithms.reference import gather_frontier_edges
+
+        topo = MeshTopology(8, 8)
+        src, dst, _ = gather_frontier_edges(
+            medium_rmat, np.arange(medium_rmat.num_vertices)
+        )
+        mesh_rom = make_mapping("rom", topo).scatter_traffic(src, dst)
+        torus_rom = make_mapping("rom-torus", topo).scatter_traffic(src, dst)
+        assert torus_rom.total_hops < mesh_rom.total_hops
+        assert torus_rom.num_messages == mesh_rom.num_messages
+
+    def test_same_execution_placement(self, medium_rmat):
+        from repro.algorithms.reference import gather_frontier_edges
+
+        topo = MeshTopology(8, 8)
+        src, dst, _ = gather_frontier_edges(
+            medium_rmat, np.arange(medium_rmat.num_vertices)
+        )
+        a = make_mapping("rom", topo).execution_pe(src, dst)
+        b = make_mapping("rom-torus", topo).execution_pe(src, dst)
+        assert np.array_equal(a, b)
+
+
+class TestTorusAccelerator:
+    def test_runs_and_matches_reference(self, medium_rmat):
+        from repro.algorithms import PageRank, run_reference
+        from repro.core import ScalaGraph, ScalaGraphConfig
+
+        ref = run_reference(PageRank(max_iters=4), medium_rmat)
+        report = ScalaGraph(
+            ScalaGraphConfig(mapping="rom-torus")
+        ).run(PageRank(max_iters=4), medium_rmat, reference=ref)
+        assert np.array_equal(report.properties, ref.properties)
+        assert report.total_noc_hops > 0
+
+    def test_torus_frequency_slightly_lower(self):
+        from repro.core import ScalaGraphConfig
+        from repro.models.frequency import max_frequency_mhz
+
+        assert max_frequency_mhz("torus", 512) < max_frequency_mhz(
+            "mesh", 512
+        )
+        cfg = ScalaGraphConfig(mapping="rom-torus")
+        assert cfg.interconnect.value == "torus"
+        assert cfg.clock_mhz == 250.0  # still capped by the paper's 250

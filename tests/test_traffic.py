@@ -1,0 +1,130 @@
+"""Link-load accounting tests, cross-checked against brute-force paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.topology import MeshTopology
+from repro.noc.traffic import column_link_loads, mesh_link_loads, xy_hop_counts
+
+
+def bruteforce_link_loads(topology, src, dst):
+    """Walk every packet's XY path and count directed link crossings."""
+    rows, cols = topology.rows, topology.cols
+    east = np.zeros((rows, max(cols - 1, 0)), dtype=np.int64)
+    west = np.zeros((rows, max(cols - 1, 0)), dtype=np.int64)
+    south = np.zeros((max(rows - 1, 0), cols), dtype=np.int64)
+    north = np.zeros((max(rows - 1, 0), cols), dtype=np.int64)
+    for s, d in zip(src, dst):
+        sr, sc = divmod(int(s), cols)
+        dr, dc = divmod(int(d), cols)
+        c = sc
+        while c < dc:
+            east[sr, c] += 1
+            c += 1
+        while c > dc:
+            west[sr, c - 1] += 1
+            c -= 1
+        r = sr
+        while r < dr:
+            south[r, dc] += 1
+            r += 1
+        while r > dr:
+            north[r - 1, dc] += 1
+            r -= 1
+    return east, west, south, north
+
+
+class TestHopCounts:
+    def test_matches_manhattan(self):
+        topo = MeshTopology(4, 4)
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 16, 100)
+        dst = rng.integers(0, 16, 100)
+        hops = xy_hop_counts(topo, src, dst)
+        for s, d, h in zip(src, dst, hops):
+            assert h == topo.hop_distance(int(s), int(d))
+
+    def test_zero_for_local(self):
+        topo = MeshTopology(3, 3)
+        nodes = np.arange(9)
+        assert np.all(xy_hop_counts(topo, nodes, nodes) == 0)
+
+
+class TestMeshLinkLoads:
+    @pytest.mark.parametrize("rows,cols,seed", [(4, 4, 0), (3, 5, 1), (1, 8, 2), (8, 1, 3)])
+    def test_matches_bruteforce(self, rows, cols, seed):
+        topo = MeshTopology(rows, cols)
+        rng = np.random.default_rng(seed)
+        n = topo.num_nodes
+        src = rng.integers(0, n, 200)
+        dst = rng.integers(0, n, 200)
+        report = mesh_link_loads(topo, src, dst)
+        east, west, south, north = bruteforce_link_loads(topo, src, dst)
+        assert np.array_equal(report.east, east)
+        assert np.array_equal(report.west, west)
+        assert np.array_equal(report.south, south)
+        assert np.array_equal(report.north, north)
+
+    def test_total_hops_equals_hop_counts(self):
+        topo = MeshTopology(4, 6)
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, 24, 150)
+        dst = rng.integers(0, 24, 150)
+        report = mesh_link_loads(topo, src, dst)
+        assert report.total_flit_hops == int(xy_hop_counts(topo, src, dst).sum())
+
+    def test_empty_batch(self):
+        topo = MeshTopology(4, 4)
+        report = mesh_link_loads(topo, np.array([]), np.array([]))
+        assert report.total_flit_hops == 0
+        assert report.max_link_load == 0
+        assert report.average_hops == 0.0
+
+    def test_max_link_load_single_flow(self):
+        topo = MeshTopology(1, 4)
+        src = np.zeros(10, dtype=np.int64)
+        dst = np.full(10, 3, dtype=np.int64)
+        report = mesh_link_loads(topo, src, dst)
+        assert report.max_link_load == 10
+
+    def test_rejects_misaligned(self):
+        topo = MeshTopology(2, 2)
+        with pytest.raises(ConfigurationError):
+            mesh_link_loads(topo, np.array([0]), np.array([0, 1]))
+
+
+class TestColumnLinkLoads:
+    def test_matches_mesh_for_column_traffic(self):
+        """Column-only traffic must produce identical vertical loads to
+        the general XY accounting (ROM's traffic is a special case)."""
+        topo = MeshTopology(6, 4)
+        rng = np.random.default_rng(7)
+        col = rng.integers(0, 4, 100)
+        src_row = rng.integers(0, 6, 100)
+        dst_row = rng.integers(0, 6, 100)
+        src = src_row * 4 + col
+        dst = dst_row * 4 + col
+        by_column = column_link_loads(6, col, src_row, dst_row, 4)
+        by_mesh = mesh_link_loads(topo, src, dst)
+        assert np.array_equal(by_column.south, by_mesh.south)
+        assert np.array_equal(by_column.north, by_mesh.north)
+        assert by_column.total_flit_hops == by_mesh.total_flit_hops
+
+    def test_horizontal_loads_zero(self):
+        report = column_link_loads(
+            4,
+            np.array([0, 1]),
+            np.array([0, 3]),
+            np.array([3, 0]),
+            num_cols=2,
+        )
+        assert report.east.sum() == 0
+        assert report.west.sum() == 0
+        assert report.total_flit_hops == 6
+
+    def test_single_row_mesh(self):
+        report = column_link_loads(
+            1, np.array([0]), np.array([0]), np.array([0]), num_cols=2
+        )
+        assert report.total_flit_hops == 0
