@@ -9,7 +9,7 @@ Paper headlines (geometric means over 4 algorithms x 5 graphs):
 * BFS shows the smallest speedups, PageRank the highest (Section V-B).
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.experiments import format_table
 from repro.experiments.runner import ALGORITHM_ORDER, GRAPH_ORDER, SYSTEM_ORDER
@@ -55,6 +55,29 @@ def test_figure14_throughput(benchmark, figure14_matrix):
         + ", ".join(f"{a}={by_algo[a]:.2f}x" for a in ALGORITHM_ORDER)
     )
     emit("fig14_throughput", text + "\n" + "\n".join(lines))
+    emit_json(
+        "fig14_throughput",
+        {
+            "schema": "repro-fig14/1",
+            "systems": list(SYSTEM_ORDER),
+            "cells": [
+                {
+                    "graph": graph,
+                    "algorithm": algorithm,
+                    "gteps": {
+                        system: matrix.gteps(graph, algorithm, system)
+                        for system in SYSTEM_ORDER
+                    },
+                }
+                for graph, algorithm in matrix.cells()
+            ],
+            "speedups": {
+                f"{num}/{den}": matrix.speedup(num, den)
+                for num, den, _ in ratios
+            },
+            "speedup_by_algorithm_vs_gunrock": by_algo,
+        },
+    )
 
     # --- Shape assertions -------------------------------------------
     # Headline orderings hold in every cell.

@@ -9,10 +9,15 @@ per-phase overhead excluded, since the cycle sim models a drained
 steady state).
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.algorithms import BFS, ConnectedComponents, PageRank, run_reference
-from repro.core import CycleAccurateScalaGraph, ScalaGraph, ScalaGraphConfig
+from repro.core import (
+    CycleAccurateScalaGraph,
+    Profiler,
+    ScalaGraph,
+    ScalaGraphConfig,
+)
 from repro.experiments import format_table, geometric_mean
 from repro.graph.generators import rmat_graph
 
@@ -28,10 +33,15 @@ WORKLOADS = [
 def run_validation():
     rows = []
     ratios = []
+    profile = Profiler()
     for label, graph, program in WORKLOADS:
         reference = run_reference(program, graph)
-        cycle = CycleAccurateScalaGraph(CONFIG).run(program, graph)
-        analytic = ScalaGraph(CONFIG).run(program, graph, reference=reference)
+        cycle = CycleAccurateScalaGraph(CONFIG, profiler=profile).run(
+            program, graph
+        )
+        analytic = ScalaGraph(CONFIG, profiler=profile).run(
+            program, graph, reference=reference
+        )
         overhead = CONFIG.timing.phase_overhead_cycles
         measured = sum(cycle.stats.scatter_cycles)
         modelled = sum(
@@ -49,11 +59,13 @@ def run_validation():
                 ratio,
             ]
         )
-    return rows, ratios
+    return rows, ratios, profile
 
 
 def test_validation_cycle_accurate_vs_analytic(benchmark):
-    rows, ratios = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    rows, ratios, profile = benchmark.pedantic(
+        run_validation, rounds=1, iterations=1
+    )
     text = format_table(
         [
             "Workload",
@@ -70,6 +82,24 @@ def test_validation_cycle_accurate_vs_analytic(benchmark):
         f"{geometric_mean(ratios):.2f} (1.0 = perfect)."
     )
     emit("validation_cycle_sim", text)
+    emit_json(
+        "validation_cycle_sim",
+        {
+            "schema": "repro-validation/1",
+            "workloads": [
+                {
+                    "label": label,
+                    "edges": edges,
+                    "cycle_accurate_scatter_cycles": measured,
+                    "analytic_scatter_cycles": modelled,
+                    "ratio": ratio,
+                }
+                for label, edges, measured, modelled, ratio in rows
+            ],
+            "geomean_ratio": geometric_mean(ratios),
+            "profile": profile.to_dict(),
+        },
+    )
 
     for ratio in ratios:
         assert 0.4 < ratio < 2.5

@@ -12,11 +12,13 @@ capture.  ``EXPERIMENTS.md`` records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.experiments import run_matrix
+from repro.experiments import ResultCache, run_matrix_parallel
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -28,11 +30,43 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable summary under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
 @pytest.fixture(scope="session")
 def figure14_matrix():
     """The full Figure 14/15/20 sweep: 5 graphs x 4 algorithms x 5
-    systems, sharing one reference execution per cell."""
-    return run_matrix()
+    systems, sharing one reference execution per cell.
+
+    Cells fan out over worker processes and are cached on disk, so a
+    re-run after an interrupted or repeated benchmark session only
+    recomputes what is missing.  Knobs (environment variables):
+
+    * ``REPRO_BENCH_WORKERS`` — worker processes (``1`` = serial;
+      default lets the executor choose).
+    * ``REPRO_BENCH_CACHE``   — cache directory (default
+      ``benchmarks/.cache``; ``0``/``off`` disables caching).
+    * ``REPRO_BENCH_REFRESH`` — set to ``1`` to recompute and overwrite
+      cached cells.
+    """
+    workers_env = os.environ.get("REPRO_BENCH_WORKERS", "")
+    max_workers = int(workers_env) if workers_env else None
+    cache_env = os.environ.get("REPRO_BENCH_CACHE", "")
+    cache: ResultCache | None
+    if cache_env.lower() in ("0", "off", "none"):
+        cache = None
+    else:
+        cache = ResultCache(cache_env or Path(__file__).parent / ".cache")
+    return run_matrix_parallel(
+        max_workers=max_workers,
+        cache=cache,
+        refresh=os.environ.get("REPRO_BENCH_REFRESH") == "1",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,4 +1,5 @@
-"""Command-line interface: run, compare, and sweep without writing code.
+"""Command-line interface: run, compare, sweep, and bench without
+writing code.
 
 Examples::
 
@@ -6,22 +7,32 @@ Examples::
     python -m repro run -d PK -a pagerank --pes 512
     python -m repro compare -d TW -a bfs
     python -m repro sweep -d OR -a pagerank --pes 32 64 128 256 512
+    python -m repro bench -d PK -a bfs --scale-shift -4 --workers 4 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.algorithms import ALGORITHMS, make_algorithm, run_reference
-from repro.core import ScalaGraph, ScalaGraphConfig
+from repro.core import (
+    CycleAccurateScalaGraph,
+    Profiler,
+    ScalaGraph,
+    ScalaGraphConfig,
+)
 from repro.experiments import format_table
+from repro.experiments.parallel import run_matrix_parallel
 from repro.experiments.runner import (
     SYSTEM_BUILDERS,
     build_system,
     load_benchmark_graph,
 )
+from repro.experiments.store import ResultCache
 from repro.graph.datasets import DATASETS
 
 
@@ -85,6 +96,77 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         nargs="+",
         default=[32, 64, 128, 256, 512, 1024],
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="cached parallel sweep + per-phase profiling of both models",
+    )
+    bench_p.add_argument(
+        "-d",
+        "--datasets",
+        nargs="+",
+        default=["PK"],
+        metavar="CODE",
+        help=f"dataset codes ({', '.join(DATASETS)})",
+    )
+    bench_p.add_argument(
+        "-a",
+        "--algorithms",
+        nargs="+",
+        default=["bfs"],
+        choices=sorted(ALGORITHMS),
+    )
+    bench_p.add_argument(
+        "--systems",
+        nargs="+",
+        default=list(SYSTEM_BUILDERS),
+        choices=list(SYSTEM_BUILDERS),
+        metavar="SYSTEM",
+    )
+    bench_p.add_argument("--scale-shift", type=int, default=0)
+    bench_p.add_argument("--max-iterations", type=int, default=None)
+    bench_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (1 = serial, default auto)",
+    )
+    bench_p.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="result cache directory (default: %(default)s)",
+    )
+    bench_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
+    )
+    bench_p.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute cached cells and overwrite them",
+    )
+    bench_p.add_argument(
+        "--cycle-sim-shift",
+        type=int,
+        default=-5,
+        metavar="N",
+        help="extra scale shift for the profiled cycle-sim run "
+        "(the cycle-level tile simulator needs small graphs)",
+    )
+    bench_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable summary (timers, counters, "
+        "cache stats, per-cell metrics) as JSON",
+    )
+    bench_p.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON summary to FILE",
     )
 
     sub.add_parser("datasets", help="list the dataset registry")
@@ -207,6 +289,132 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace, out) -> int:
+    """Cached parallel sweep plus per-phase profiling of both models.
+
+    The JSON summary is the machine-readable artefact benchmark
+    trajectories consume: per-cell headline metrics, cache hit/miss
+    accounting, and the named wall-clock timers/counters of the
+    analytic model and the cycle simulator.
+    """
+    wall_start = time.perf_counter()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    matrix = run_matrix_parallel(
+        graphs=args.datasets,
+        algorithms=args.algorithms,
+        systems=args.systems,
+        scale_shift=args.scale_shift,
+        max_iterations=args.max_iterations,
+        max_workers=args.workers,
+        cache=cache,
+        refresh=args.refresh,
+    )
+
+    # Profile one representative workload through each model.  The
+    # profiled runs are separate from the sweep (profiling is opt-in so
+    # cached and fresh sweep cells stay byte-identical).
+    dataset, algorithm = args.datasets[0], args.algorithms[0]
+    program = make_algorithm(algorithm)
+
+    analytic_prof = Profiler()
+    graph = load_benchmark_graph(dataset, algorithm, args.scale_shift)
+    analytic_report = ScalaGraph(
+        ScalaGraphConfig(), profiler=analytic_prof
+    ).run(program, graph, max_iterations=args.max_iterations)
+
+    cycle_prof = Profiler()
+    cycle_shift = args.scale_shift + args.cycle_sim_shift
+    cycle_graph = load_benchmark_graph(dataset, algorithm, cycle_shift)
+    cycle_result = CycleAccurateScalaGraph(
+        ScalaGraphConfig(num_tiles=1, pe_rows=4, pe_cols=4),
+        profiler=cycle_prof,
+    ).run(program, cycle_graph, max_iterations=args.max_iterations)
+
+    summary = {
+        "schema": "repro-bench/1",
+        "wall_seconds": time.perf_counter() - wall_start,
+        "sweep": {
+            "datasets": list(args.datasets),
+            "algorithms": list(args.algorithms),
+            "systems": list(args.systems),
+            "scale_shift": args.scale_shift,
+            "max_iterations": args.max_iterations,
+            "workers": args.workers,
+            "cells": [
+                {
+                    "graph": g,
+                    "algorithm": a,
+                    "system": s,
+                    "gteps": report.gteps,
+                    "total_cycles": report.total_cycles,
+                    "pe_utilization": report.pe_utilization,
+                }
+                for (g, a, s), report in matrix.reports.items()
+            ],
+        },
+        "cache": (
+            {"enabled": False}
+            if cache is None
+            else {
+                "enabled": True,
+                "dir": str(cache.root),
+                "model_version": cache.model_version,
+                **cache.stats.to_dict(),
+            }
+        ),
+        "profiles": {
+            "analytic": analytic_report.profile,
+            "cycle_sim": cycle_result.profile,
+        },
+        "cycle_sim": {
+            "graph": cycle_graph.name,
+            "num_edges": cycle_graph.num_edges,
+            "total_cycles": cycle_result.stats.total_cycles,
+            "iterations": cycle_result.stats.iterations,
+            "spd_reduces": cycle_result.stats.spd_reduces,
+            "updates_coalesced": cycle_result.stats.updates_coalesced,
+        },
+    }
+
+    text = json.dumps(summary, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    if args.json:
+        print(text, file=out)
+        return 0
+
+    rows = [
+        [g, a, s, cell.gteps, f"{cell.total_cycles:,.0f}"]
+        for (g, a, s), cell in matrix.reports.items()
+    ]
+    print(
+        format_table(
+            ["Graph", "Algorithm", "System", "GTEPS", "cycles"],
+            rows,
+            title="Sweep (parallel cached runner)",
+        ),
+        file=out,
+    )
+    if cache is not None:
+        print(
+            f"cache: {cache.stats.hits} hits, {cache.stats.misses} misses, "
+            f"{cache.stats.stores} stored ({cache.root})",
+            file=out,
+        )
+    for label, profile in summary["profiles"].items():
+        print(f"\n{label} profile:", file=out)
+        for name, entry in profile["timers"].items():
+            print(
+                f"  {name:32s} {entry['calls']:>8d} calls "
+                f"{entry['total_seconds'] * 1e3:>10.2f} ms",
+                file=out,
+            )
+    print(f"\nwall time: {summary['wall_seconds']:.2f} s", file=out)
+    return 0
+
+
 def cmd_datasets(args: argparse.Namespace, out) -> int:
     rows = [
         [
@@ -243,6 +451,7 @@ _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
+    "bench": cmd_bench,
     "datasets": cmd_datasets,
 }
 

@@ -21,6 +21,7 @@ on small graphs.
 
 from repro.core.config import ScalaGraphConfig, TimingParams
 from repro.core.accelerator import ScalaGraph
+from repro.core.profiling import NULL_PROFILER, NullProfiler, Profiler
 from repro.core.stats import IterationStats, PhaseCycles, SimulationReport
 from repro.core.functional import FunctionalScalaGraph
 from repro.core.cycle_sim import CycleAccurateScalaGraph
@@ -34,4 +35,7 @@ __all__ = [
     "SimulationReport",
     "FunctionalScalaGraph",
     "CycleAccurateScalaGraph",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
 ]

@@ -32,6 +32,7 @@ from repro.core.dispatcher import (
 )
 from repro.core.noc_model import apply_noc_service_cycles, scatter_noc_stats
 from repro.core.prefetcher import Prefetcher
+from repro.core.profiling import NULL_PROFILER, Profiler
 from repro.core.stats import IterationStats, PhaseCycles, SimulationReport
 from repro.errors import CapacityError
 from repro.graph.csr import CSRGraph
@@ -74,6 +75,9 @@ class ScalaGraph:
             (the paper relaxes this only for the Figure 17 DOM study,
             which used 'a cycle-accurate accelerator with a large
             on-chip memory').
+        profiler: optional wall-clock profiler; when given, per-phase
+            host-time timers and counters are accumulated and attached
+            to the report's ``profile`` field.
     """
 
     name = "ScalaGraph"
@@ -82,9 +86,11 @@ class ScalaGraph:
         self,
         config: Optional[ScalaGraphConfig] = None,
         enforce_capacity: bool = True,
+        profiler: Optional[Profiler] = None,
     ) -> None:
         self.config = config or ScalaGraphConfig()
         self.enforce_capacity = enforce_capacity
+        self.profiler = profiler
         self.topology = MeshTopology(
             rows=self.config.pe_rows, cols=self.config.total_cols
         )
@@ -119,18 +125,21 @@ class ScalaGraph:
             A :class:`SimulationReport` carrying the gold properties and
             the timing accounting.
         """
-        ref = reference or run_reference(program, graph, max_iterations)
-        workload = [
-            WorkloadIteration(
-                active_vertices=trace.active_vertices,
-                edge_src=(edges := gather_frontier_edges(
-                    graph, trace.active_vertices
-                ))[0],
-                edge_dst=edges[1],
-                num_updates=trace.num_updates,
-            )
-            for trace in ref.iterations
-        ]
+        prof = self.profiler or NULL_PROFILER
+        with prof.timer("analytic.reference"):
+            ref = reference or run_reference(program, graph, max_iterations)
+        with prof.timer("analytic.workload_build"):
+            workload = [
+                WorkloadIteration(
+                    active_vertices=trace.active_vertices,
+                    edge_src=(edges := gather_frontier_edges(
+                        graph, trace.active_vertices
+                    ))[0],
+                    edge_dst=edges[1],
+                    num_updates=trace.num_updates,
+                )
+                for trace in ref.iterations
+            ]
         return self.run_trace(
             graph,
             workload,
@@ -163,6 +172,7 @@ class ScalaGraph:
             properties: optional gold results to attach.
         """
         cfg = self.config
+        prof = self.profiler or NULL_PROFILER
         partitions = self._partitions(graph)
 
         use_pipelining = (
@@ -193,9 +203,10 @@ class ScalaGraph:
                 else:
                     mask = part.mask(dst)
                     src_p, dst_p = src[mask], dst[mask]
-                phase = self._scatter_phase(
-                    active, src_p, dst_p, window
-                )
+                with prof.timer("analytic.scatter_model"):
+                    phase = self._scatter_phase(
+                        active, src_p, dst_p, window
+                    )
                 scatter_cycles += phase["cycles"].total
                 compute_cycle_total += phase["cycles"].compute
                 messages += phase["noc"].messages
@@ -204,7 +215,8 @@ class ScalaGraph:
                 offchip += phase["offchip_bytes"]
                 bottleneck = phase["cycles"].bottleneck
 
-                apply_phase = self._apply_phase(dst_p, item.num_updates)
+                with prof.timer("analytic.apply_model"):
+                    apply_phase = self._apply_phase(dst_p, item.num_updates)
                 apply_cycles += apply_phase["cycles"]
                 offchip += apply_phase["offchip_bytes"]
 
@@ -240,6 +252,16 @@ class ScalaGraph:
             cfg.num_pes, cfg.interconnect, cfg.clock_mhz
         ).total_watts
 
+        prof.count("analytic.iterations", len(workload))
+        prof.count(
+            "analytic.scatter_phases", len(workload) * len(partitions)
+        )
+        prof.count("analytic.partitions", len(partitions))
+        prof.count(
+            "analytic.edges_traversed",
+            sum(int(np.asarray(w.edge_src).size) for w in workload),
+        )
+
         return SimulationReport(
             accelerator=f"{self.name}-{cfg.num_pes}",
             algorithm=algorithm,
@@ -261,6 +283,9 @@ class ScalaGraph:
                 "aggregation_window": float(window),
                 "scatter_compute_cycles": compute_cycle_total,
             },
+            profile=(
+                self.profiler.to_dict() if self.profiler is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------

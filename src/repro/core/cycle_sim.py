@@ -19,6 +19,7 @@ few thousand edges.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -28,6 +29,7 @@ import numpy as np
 from repro.algorithms.base import ProgramContext, VertexProgram
 from repro.algorithms.reference import gather_frontier_edges
 from repro.core.config import ScalaGraphConfig
+from repro.core.profiling import NULL_PROFILER, Profiler
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.mapping import make_mapping
@@ -39,7 +41,14 @@ from repro.noc.topology import MeshTopology
 
 @dataclass
 class CycleStats:
-    """Cycle-level accounting of one run."""
+    """Cycle-level accounting of one run.
+
+    The ``phase_*`` lists hold one entry per Scatter phase (parallel to
+    :attr:`scatter_cycles`); per phase the invariant
+    ``phase_updates[i] - phase_coalesced[i] == phase_spd_reduces[i]``
+    holds — every dispatched update either coalesces in an aggregation
+    pipeline or retires as exactly one SPD Reduce.
+    """
 
     total_cycles: int = 0
     scatter_cycles: List[int] = field(default_factory=list)
@@ -50,6 +59,9 @@ class CycleStats:
     spd_reduces: int = 0
     dispatch_lines: int = 0
     iterations: int = 0
+    phase_updates: List[int] = field(default_factory=list)
+    phase_coalesced: List[int] = field(default_factory=list)
+    phase_spd_reduces: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -57,6 +69,9 @@ class CycleResult:
     properties: np.ndarray
     stats: CycleStats
     converged: bool
+    #: Wall-clock profiling breakdown, set when the simulator was
+    #: constructed with a :class:`~repro.core.profiling.Profiler`.
+    profile: Optional[Dict] = None
 
 
 class _RowDispatcher:
@@ -101,12 +116,28 @@ class _RowDispatcher:
 
 
 class CycleAccurateScalaGraph:
-    """A single-tile, cycle-driven ScalaGraph model."""
+    """A single-tile, cycle-driven ScalaGraph model.
 
-    def __init__(self, config: Optional[ScalaGraphConfig] = None) -> None:
+    Args:
+        config: hardware configuration (defaults to a 4x4 single tile).
+        noc_buffer_depth: per-port router buffer depth of the simulated
+            mesh; shallow buffers (1) stress backpressure handling.
+        profiler: optional wall-clock profiler; when given, the run's
+            per-phase host-time breakdown lands on
+            :attr:`CycleResult.profile`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ScalaGraphConfig] = None,
+        noc_buffer_depth: int = 4,
+        profiler: Optional[Profiler] = None,
+    ) -> None:
         self.config = config or ScalaGraphConfig(
             num_tiles=1, pe_rows=4, pe_cols=4
         )
+        self.noc_buffer_depth = noc_buffer_depth
+        self.profiler = profiler
         self.topology = MeshTopology(
             rows=self.config.pe_rows, cols=self.config.total_cols
         )
@@ -132,27 +163,36 @@ class CycleAccurateScalaGraph:
             else program.max_iterations(ctx)
         )
         stats = CycleStats()
+        prof = self.profiler or NULL_PROFILER
 
         iteration = 0
         while active.size and iteration < limit:
             vtemp = np.full(
                 graph.num_vertices, program.reduce_identity, dtype=np.float64
             )
-            cycles = self._scatter_phase(
-                program, ctx, graph, active, props, vtemp,
-                stats, max_cycles_per_phase,
-            )
+            # Which vertices actually received an SPD Reduce this phase.
+            # Comparing vtemp against the reduce identity is not enough:
+            # an aggregated value can legitimately *equal* the identity
+            # (a zero-valued contribution under a + reduce) and must
+            # still be charged an Apply slot.
+            touched_mask = np.zeros(graph.num_vertices, dtype=bool)
+            with prof.timer("cycle_sim.scatter"):
+                cycles = self._scatter_phase(
+                    program, ctx, graph, active, props, vtemp, touched_mask,
+                    stats, max_cycles_per_phase,
+                )
             stats.scatter_cycles.append(cycles)
 
             # Apply: every touched slice applies one vertex per cycle.
-            touched = np.flatnonzero(vtemp != program.reduce_identity)
-            if program.all_active:
-                touched = np.arange(graph.num_vertices, dtype=np.int64)
-            apply_cycles = self._apply_cycles(touched)
-            stats.apply_cycles.append(apply_cycles)
+            with prof.timer("cycle_sim.apply"):
+                touched = np.flatnonzero(touched_mask)
+                if program.all_active:
+                    touched = np.arange(graph.num_vertices, dtype=np.int64)
+                apply_cycles = self._apply_cycles(touched)
+                stats.apply_cycles.append(apply_cycles)
 
-            new_props = program.apply_values(ctx, props, vtemp)
-            updated = program.is_updated(props, new_props)
+                new_props = program.apply_values(ctx, props, vtemp)
+                updated = program.is_updated(props, new_props)
             props = new_props
             active = (
                 np.arange(graph.num_vertices, dtype=np.int64)
@@ -165,8 +205,19 @@ class CycleAccurateScalaGraph:
         stats.total_cycles = sum(stats.scatter_cycles) + sum(
             stats.apply_cycles
         )
+        prof.count("cycle_sim.iterations", iteration)
+        prof.count("cycle_sim.scatter_cycles", sum(stats.scatter_cycles))
+        prof.count("cycle_sim.apply_cycles", sum(stats.apply_cycles))
+        prof.count("cycle_sim.spd_reduces", stats.spd_reduces)
+        prof.count("cycle_sim.updates_coalesced", stats.updates_coalesced)
+        prof.count("cycle_sim.noc_hops", stats.noc_hops)
         return CycleResult(
-            properties=props, stats=stats, converged=active.size == 0
+            properties=props,
+            stats=stats,
+            converged=active.size == 0,
+            profile=(
+                self.profiler.to_dict() if self.profiler is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -180,12 +231,19 @@ class CycleAccurateScalaGraph:
         active: np.ndarray,
         props: np.ndarray,
         vtemp: np.ndarray,
+        touched_mask: np.ndarray,
         stats: CycleStats,
         max_cycles: int,
     ) -> int:
         cfg = self.config
+        prof = self.profiler
+        coalesced_before = stats.updates_coalesced
+        spd_reduces_before = stats.spd_reduces
         src, dst, weights = gather_frontier_edges(graph, active)
         if src.size == 0:
+            stats.phase_updates.append(0)
+            stats.phase_coalesced.append(0)
+            stats.phase_spd_reduces.append(0)
             return 0
         values = program.scatter_value(ctx, src, weights, props[src])
         exec_pe = self.mapping.execution_pe(src, dst)
@@ -233,7 +291,9 @@ class CycleAccurateScalaGraph:
         spd_fifos: List[Deque[Tuple[int, float]]] = [
             deque() for _ in range(self.topology.num_nodes)
         ]
-        network = MeshNetwork(self.topology, buffer_depth=4)
+        network = MeshNetwork(
+            self.topology, buffer_depth=self.noc_buffer_depth
+        )
 
         def pipeline_for(pe: int) -> Optional[AggregationPipeline]:
             if registers <= 0:
@@ -248,7 +308,6 @@ class CycleAccurateScalaGraph:
                 pipelines[pe] = pipe
             return pipe
 
-        pending_updates = 0
         cycle = 0
         edges_remaining = int(src.size)
         while True:
@@ -270,7 +329,6 @@ class CycleAccurateScalaGraph:
                     pipe = pipeline_for(pe)
                     if pipe is None:
                         out_fifos[pe].append((vertex, value))
-                        pending_updates += 1
                         continue
                     outcome = pipe.offer(vertex, value)
                     if outcome == "coalesced":
@@ -279,19 +337,22 @@ class CycleAccurateScalaGraph:
                         evicted = pipe.emit(column=pipe.column_of(vertex))
                         if evicted is not None:
                             out_fifos[pe].append(evicted)
-                            pending_updates += 1
                         if pipe.offer(vertex, value) == "rejected":
                             raise SimulationError("aggregation stuck")
 
             # 2. RU egress: each PE emits one update per cycle — from its
             #    FIFO first, then by draining its pipeline once dispatch
-            #    for the phase is done.
+            #    for the phase is done.  An update whose injection the
+            #    mesh refuses (backpressure) goes back to the *head* of
+            #    its FIFO — it keeps its place in the stream and retries
+            #    next cycle; the phase-exit test below reads the FIFOs
+            #    directly, so a requeued update can never be dropped or
+            #    double-counted by a shadow counter.
             drain_pipelines = all(not d.busy for d in dispatchers)
             for pe in range(self.topology.num_nodes):
                 item = None
                 if out_fifos[pe]:
                     item = out_fifos[pe].popleft()
-                    pending_updates -= 1
                 elif drain_pipelines and pe in pipelines:
                     item = pipelines[pe].emit()
                 if item is None:
@@ -307,11 +368,15 @@ class CycleAccurateScalaGraph:
                     ):
                         # Backpressure: requeue and retry next cycle.
                         out_fifos[pe].appendleft((vertex, value))
-                        pending_updates += 1
 
             # 3. NoC: one router cycle; deliveries feed the SPD FIFOs.
             before = len(network.delivered)
-            network.step()
+            if prof is not None:
+                t0 = time.perf_counter()
+                network.step()
+                prof.add_time("cycle_sim.noc_step", time.perf_counter() - t0)
+            else:
+                network.step()
             for packet in network.delivered[before:]:
                 spd_fifos[packet.dst].append((packet.vertex, packet.value))
             if len(network.delivered) != before or any(
@@ -324,6 +389,7 @@ class CycleAccurateScalaGraph:
                 if spd_fifos[pe]:
                     vertex, value = spd_fifos[pe].popleft()
                     vtemp[vertex] = reduce_ufunc(vtemp[vertex], value)
+                    touched_mask[vertex] = True
                     stats.spd_reduces += 1
                     progressed = True
 
@@ -336,7 +402,7 @@ class CycleAccurateScalaGraph:
             if (
                 not progressed
                 and edges_remaining == 0
-                and pending_updates == 0
+                and not any(out_fifos)
                 and not any(pipelines[p].occupancy() for p in pipelines)
                 and not any(spd_fifos)
                 and not any(r.occupancy() for r in network.routers)
@@ -345,6 +411,11 @@ class CycleAccurateScalaGraph:
 
         stats.updates_processed += int(src.size)
         stats.noc_hops += network.stats.total_hops
+        stats.phase_updates.append(int(src.size))
+        stats.phase_coalesced.append(
+            stats.updates_coalesced - coalesced_before
+        )
+        stats.phase_spd_reduces.append(stats.spd_reduces - spd_reduces_before)
         return cycle
 
     def _apply_cycles(self, touched: np.ndarray) -> int:

@@ -15,6 +15,7 @@ on small instances (see the integration tests).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -67,9 +68,19 @@ def survivor_mask(
     occurrence (and any occurrence after a longer gap) survives.  This is
     the statistical counterpart of the Figure 11 register array, with
     ``window`` proportional to the register count.
+
+    Window semantics for fractional windows (which arise when a caller
+    scales an integer register window by an effectiveness factor, e.g.
+    :data:`SOM_AGGREGATION_EFFECTIVENESS`) are **floor**: the register
+    window holds a whole number of slots, so ``window`` is floored
+    before use.  Positional gaps are integers, hence ``window=1.5``
+    behaves exactly like ``window=1.0``, and any ``window < 1``
+    (``0.5`` floors to ``0``) disables coalescing entirely — no update
+    can be resident for a fraction of a slot.
     """
     n = int(edge_dst.size)
     mask = np.ones(n, dtype=bool)
+    window = math.floor(window)
     if n == 0 or window < 1:
         return mask
     # Group by column, preserving stream order within each column.

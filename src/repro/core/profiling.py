@@ -1,0 +1,138 @@
+"""Lightweight named timers and counters for the simulation models.
+
+The experiment sweeps need to know where wall-clock goes — reference
+execution, the analytic Scatter/Apply models, the cycle simulator's
+phases, NoC stepping — without perturbing the timing *results* (the
+profilers measure host time, never simulated cycles).  A
+:class:`Profiler` is handed to a model at construction time; the model
+wraps its phases in :meth:`Profiler.timer` blocks and bumps named
+counters, and the accumulated breakdown is surfaced on
+``SimulationReport.to_dict()`` (the ``profile`` key, present only when a
+profiler was attached, so unprofiled runs serialise unchanged) and on
+the ``repro bench --json`` CLI output.
+
+Profiling is strictly opt-in: models default to the shared
+:data:`NULL_PROFILER`, whose methods are no-ops, so the hot paths pay
+one attribute check when profiling is off.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class Profiler:
+    """Accumulates named wall-clock timers and integer counters.
+
+    Timers record (call count, total seconds); counters are plain
+    accumulators.  Not thread-safe — use one profiler per worker and
+    :meth:`merge` the results.
+    """
+
+    __slots__ = ("_timers", "_counters")
+
+    def __init__(self) -> None:
+        # name -> [calls, total_seconds]
+        self._timers: Dict[str, list] = {}
+        self._counters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager timing one block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Accumulate ``seconds`` (from ``calls`` invocations) under
+        ``name`` — the non-context-manager path for tight loops."""
+        entry = self._timers.get(name)
+        if entry is None:
+            self._timers[name] = [calls, seconds]
+        else:
+            entry[0] += calls
+            entry[1] += seconds
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_counter(self, name: str, value: float) -> None:
+        self._counters[name] = value
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def timer_seconds(self, name: str) -> float:
+        entry = self._timers.get(name)
+        return entry[1] if entry else 0.0
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's accumulations into this one."""
+        for name, (calls, seconds) in other._timers.items():
+            self.add_time(name, seconds, calls=calls)
+        for name, value in other._counters.items():
+            self.count(name, value)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable breakdown: per-timer calls/seconds plus the
+        counters."""
+        return {
+            "timers": {
+                name: {"calls": calls, "total_seconds": seconds}
+                for name, (calls, seconds) in sorted(self._timers.items())
+            },
+            "counters": dict(sorted(self._counters.items())),
+        }
+
+
+class NullProfiler(Profiler):
+    """A no-op profiler: every method returns immediately.
+
+    Models hold ``profiler or NULL_PROFILER`` so instrumentation sites
+    need no ``if`` guards.
+    """
+
+    __slots__ = ()
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        yield
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        pass
+
+    def count(self, name: str, amount: float = 1) -> None:
+        pass
+
+    def set_counter(self, name: str, value: float) -> None:
+        pass
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+
+#: Shared no-op instance used as the default by all instrumented models.
+NULL_PROFILER = NullProfiler()
+
+
+def resolve(profiler: Optional[Profiler]) -> Profiler:
+    """``profiler`` itself, or the shared null profiler when None."""
+    return profiler if profiler is not None else NULL_PROFILER

@@ -81,6 +81,15 @@ class SimulationReport:
     num_partitions: int = 1
     power_watts: Optional[float] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock profiling breakdown (``Profiler.to_dict()``); attached
+    #: only when the model ran with a profiler, never by default — so
+    #: profiled and unprofiled runs of the same cell serialise the same
+    #: timing results.
+    profile: Optional[Dict] = None
+    #: ``properties_summary`` carried over from a serialised report when
+    #: the full gold array was not persisted (the result cache path);
+    #: ignored whenever ``properties`` is present.
+    properties_digest: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Headline metrics
@@ -182,6 +191,8 @@ class SimulationReport:
             "offchip_bytes": self.total_offchip_bytes,
             "extra": dict(self.extra),
         }
+        if self.profile is not None:
+            data["profile"] = self.profile
         if self.properties is not None:
             data["properties_summary"] = {
                 "count": int(self.properties.size),
@@ -189,6 +200,8 @@ class SimulationReport:
                     np.sum(self.properties[np.isfinite(self.properties)])
                 ),
             }
+        elif self.properties_digest is not None:
+            data["properties_summary"] = dict(self.properties_digest)
         if include_iterations:
             data["iterations"] = [
                 {
@@ -215,4 +228,49 @@ class SimulationReport:
         return json.dumps(
             self.to_dict(include_iterations=include_iterations),
             **dumps_kwargs,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The inverse of :meth:`to_dict` up to the gold ``properties``
+        array, which is summarised rather than persisted: the summary is
+        kept in :attr:`properties_digest` so a round-tripped report's
+        :meth:`to_dict` output matches the original exactly.  Derived
+        metrics (``gteps``, ``seconds``, utilisations) are recomputed
+        from the stored fields, not trusted from the dict.
+        """
+        iterations = [
+            IterationStats(
+                index=int(it["index"]),
+                num_active=int(it["active"]),
+                num_edges=int(it["edges"]),
+                scatter_cycles=it["scatter_cycles"],
+                apply_cycles=it["apply_cycles"],
+                overlap_cycles=it.get("overlap_cycles", 0.0),
+                noc_messages=int(it.get("noc_messages", 0)),
+                noc_hops=int(it.get("noc_hops", 0)),
+                coalesced_updates=int(it.get("coalesced", 0)),
+                offchip_bytes=it.get("offchip_bytes", 0.0),
+                scatter_bottleneck=it.get("bottleneck", "compute"),
+            )
+            for it in data.get("iterations", [])
+        ]
+        return cls(
+            accelerator=data["accelerator"],
+            algorithm=data["algorithm"],
+            graph_name=data["graph"],
+            num_pes=int(data["num_pes"]),
+            frequency_mhz=data["frequency_mhz"],
+            num_vertices=int(data["num_vertices"]),
+            num_edges=int(data["num_edges"]),
+            total_edges_traversed=int(data["total_edges_traversed"]),
+            total_cycles=data["total_cycles"],
+            iterations=iterations,
+            num_partitions=int(data.get("num_partitions", 1)),
+            power_watts=data.get("power_watts"),
+            extra=dict(data.get("extra", {})),
+            profile=data.get("profile"),
+            properties_digest=data.get("properties_summary"),
         )

@@ -14,18 +14,24 @@ from repro.experiments.breakdown import (
     describe,
     phase_shares,
 )
+from repro.experiments.parallel import run_matrix_parallel
 from repro.experiments.runner import (
     ALGORITHM_ORDER,
     GRAPH_ORDER,
     SYSTEM_BUILDERS,
     ExperimentMatrix,
     build_system,
+    execute_cell,
     geometric_mean,
     load_benchmark_graph,
     run_matrix,
 )
 from repro.experiments.store import (
+    CODE_MODEL_VERSION,
+    CacheStats,
+    ResultCache,
     compare_to_saved,
+    dataset_fingerprint,
     load_matrix_summaries,
     save_matrix,
 )
@@ -35,11 +41,17 @@ __all__ = [
     "ALGORITHM_ORDER",
     "GRAPH_ORDER",
     "SYSTEM_BUILDERS",
+    "CODE_MODEL_VERSION",
+    "CacheStats",
     "ExperimentMatrix",
+    "ResultCache",
     "build_system",
+    "dataset_fingerprint",
+    "execute_cell",
     "geometric_mean",
     "load_benchmark_graph",
     "run_matrix",
+    "run_matrix_parallel",
     "format_series",
     "format_table",
     "normalize",

@@ -1,0 +1,212 @@
+"""Parallel fan-out of the experiment matrix.
+
+The paper's evaluation is a (graph x algorithm x system) sweep whose
+cells are independent; :func:`run_matrix_parallel` fans them out over a
+``concurrent.futures.ProcessPoolExecutor`` and merges the results back
+deterministically, so a parallel sweep's :class:`ExperimentMatrix` is
+identical — per-cell ``to_dict()`` output included — to the serial
+:func:`~repro.experiments.runner.run_matrix`'s.
+
+Design notes:
+
+* The unit of work is one **(graph, algorithm) cell with all of its
+  missing systems**, not one (graph, algorithm, system) triple: the
+  functional reference execution is shared across systems, and
+  splitting it over workers would recompute it per system.
+* Work items cross the process boundary as plain strings/ints and come
+  back as :class:`SimulationReport` (numpy arrays pickle natively), so
+  pickling normally cannot fail; if it does — or the pool itself breaks
+  (sandboxes without working semaphores, dying workers) — the runner
+  falls back to in-process serial execution rather than raising.
+* With a :class:`~repro.experiments.store.ResultCache`, cached cells
+  are loaded in the parent before any worker is spawned; only stale
+  cells are dispatched, and fresh results are written back.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.stats import SimulationReport
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    ALGORITHM_ORDER,
+    GRAPH_ORDER,
+    SYSTEM_ORDER,
+    ExperimentMatrix,
+    execute_cell,
+)
+from repro.experiments.store import ResultCache
+
+#: (graph, algorithm, missing-systems) work unit shipped to a worker.
+_CellJob = Tuple[str, str, Tuple[str, ...]]
+
+
+def _cell_worker(
+    graph_name: str,
+    algorithm_name: str,
+    systems: Tuple[str, ...],
+    scale_shift: int,
+    max_iterations: Optional[int],
+) -> List[Tuple[str, SimulationReport]]:
+    """Top-level (hence picklable) worker entry point."""
+    return execute_cell(
+        graph_name, algorithm_name, systems, scale_shift, max_iterations
+    )
+
+
+def run_matrix_parallel(
+    graphs: Sequence[str] = GRAPH_ORDER,
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+    systems: Sequence[str] = SYSTEM_ORDER,
+    scale_shift: int = 0,
+    max_iterations: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    refresh: bool = False,
+) -> ExperimentMatrix:
+    """Run the sweep with cell-level process parallelism.
+
+    Args:
+        max_workers: worker processes; ``None`` lets the executor pick
+            (bounded by the number of dispatched cells), ``1`` runs
+            serially in-process without spawning a pool.
+        cache: optional on-disk result cache; hits skip computation
+            entirely and fresh cells are written back.
+        refresh: recompute every cell even when cached.
+
+    Returns:
+        The same :class:`ExperimentMatrix` the serial runner produces —
+        deterministic cell order, identical reports.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(
+            f"max_workers must be >= 1 (got {max_workers})"
+        )
+    graphs = tuple(graphs)
+    algorithms = tuple(algorithms)
+    systems = tuple(systems)
+
+    cached: Dict[Tuple[str, str, str], SimulationReport] = {}
+    jobs: List[_CellJob] = []
+    for graph_name in graphs:
+        for algorithm_name in algorithms:
+            missing: List[str] = []
+            for system_label in systems:
+                report = None
+                if cache is not None and not refresh:
+                    report = cache.get(
+                        graph_name,
+                        algorithm_name,
+                        system_label,
+                        scale_shift=scale_shift,
+                        max_iterations=max_iterations,
+                    )
+                if report is None:
+                    missing.append(system_label)
+                else:
+                    cached[(graph_name, algorithm_name, system_label)] = report
+            if missing:
+                jobs.append((graph_name, algorithm_name, tuple(missing)))
+
+    computed: Dict[Tuple[str, str, str], SimulationReport] = {}
+    if jobs:
+        if max_workers == 1 or len(jobs) == 1:
+            _run_jobs_serial(jobs, scale_shift, max_iterations, computed)
+        else:
+            _run_jobs_pooled(
+                jobs, scale_shift, max_iterations, max_workers, computed
+            )
+
+    if cache is not None:
+        for (graph_name, algorithm_name, system_label), report in (
+            computed.items()
+        ):
+            cache.put(
+                graph_name,
+                algorithm_name,
+                system_label,
+                report,
+                scale_shift=scale_shift,
+                max_iterations=max_iterations,
+            )
+
+    matrix = ExperimentMatrix()
+    for graph_name in graphs:
+        for algorithm_name in algorithms:
+            for system_label in systems:
+                key = (graph_name, algorithm_name, system_label)
+                matrix.reports[key] = (
+                    computed[key] if key in computed else cached[key]
+                )
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Execution strategies
+# ----------------------------------------------------------------------
+def _run_jobs_serial(
+    jobs: Sequence[_CellJob],
+    scale_shift: int,
+    max_iterations: Optional[int],
+    out: Dict[Tuple[str, str, str], SimulationReport],
+) -> None:
+    for graph_name, algorithm_name, missing in jobs:
+        for system_label, report in execute_cell(
+            graph_name, algorithm_name, missing, scale_shift, max_iterations
+        ):
+            out[(graph_name, algorithm_name, system_label)] = report
+
+
+def _run_jobs_pooled(
+    jobs: Sequence[_CellJob],
+    scale_shift: int,
+    max_iterations: Optional[int],
+    max_workers: Optional[int],
+    out: Dict[Tuple[str, str, str], SimulationReport],
+) -> None:
+    """Fan the jobs over a process pool.
+
+    Graceful degradation: when the pool cannot be used at all (no
+    multiprocessing support, broken workers) or a payload will not
+    pickle, whatever cells are still missing are recomputed serially
+    in-process; partial results from a pool that broke mid-flight are
+    kept and never overwritten.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    if max_workers is not None:
+        max_workers = min(max_workers, len(jobs))
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _cell_worker,
+                    graph_name,
+                    algorithm_name,
+                    missing,
+                    scale_shift,
+                    max_iterations,
+                ): (graph_name, algorithm_name)
+                for graph_name, algorithm_name, missing in jobs
+            }
+            for future, (graph_name, algorithm_name) in futures.items():
+                for system_label, report in future.result():
+                    out[(graph_name, algorithm_name, system_label)] = report
+    except (BrokenProcessPool, pickle.PicklingError, OSError, ImportError):
+        # No/broken multiprocessing support, or an unpicklable payload:
+        # recompute whatever is still missing in-process.
+        missing_jobs = [
+            (graph_name, algorithm_name, tuple(
+                s
+                for s in missing
+                if (graph_name, algorithm_name, s) not in out
+            ))
+            for graph_name, algorithm_name, missing in jobs
+            if any(
+                (graph_name, algorithm_name, s) not in out for s in missing
+            )
+        ]
+        _run_jobs_serial(missing_jobs, scale_shift, max_iterations, out)

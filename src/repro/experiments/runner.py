@@ -95,6 +95,32 @@ class ExperimentMatrix:
         ]
         return geometric_mean(ratios)
 
+    def sort_nominal(
+        self,
+        graphs: Sequence[str],
+        algorithms: Sequence[str],
+        systems: Sequence[str],
+    ) -> None:
+        """Reorder :attr:`reports` into nominal sweep order.
+
+        Insertion order is observable (:meth:`systems` / :meth:`cells`
+        preserve it), so runners that fill cells out of order — cache
+        hits first, parallel completions as they land — normalise with
+        this before returning.  Keys outside the nominal sweep keep
+        their relative order at the end.
+        """
+        ordered: Dict[Tuple[str, str, str], SimulationReport] = {}
+        for graph in graphs:
+            for algorithm in algorithms:
+                for system in systems:
+                    key = (graph, algorithm, system)
+                    if key in self.reports:
+                        ordered[key] = self.reports[key]
+        for key, report in self.reports.items():
+            if key not in ordered:
+                ordered[key] = report
+        self.reports = ordered
+
     def speedup_by_algorithm(
         self, numerator: str, denominator: str
     ) -> Dict[str, float]:
@@ -109,35 +135,100 @@ class ExperimentMatrix:
         return out
 
 
+def execute_cell(
+    graph_name: str,
+    algorithm_name: str,
+    systems: Sequence[str],
+    scale_shift: int = 0,
+    max_iterations: Optional[int] = None,
+) -> List[Tuple[str, SimulationReport]]:
+    """Run the given systems on one (graph, algorithm) cell.
+
+    The functional reference execution is computed once and shared by
+    all systems, so a cell's cost is dominated by the timing models.
+    This is the unit of work both the serial and the parallel runner
+    fan out (the arguments are all picklable primitives, so it can
+    cross a process boundary).
+    """
+    graph = load_benchmark_graph(graph_name, algorithm_name, scale_shift)
+    program = make_algorithm(algorithm_name)
+    reference = run_reference(program, graph, max_iterations)
+    return [
+        (
+            system_label,
+            build_system(system_label).run(
+                program, graph, reference=reference
+            ),
+        )
+        for system_label in systems
+    ]
+
+
 def run_matrix(
     graphs: Sequence[str] = GRAPH_ORDER,
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     systems: Sequence[str] = SYSTEM_ORDER,
     scale_shift: int = 0,
     max_iterations: Optional[int] = None,
+    cache=None,
+    refresh: bool = False,
 ) -> ExperimentMatrix:
-    """Run every system on every (graph, algorithm) cell.
+    """Run every system on every (graph, algorithm) cell, serially.
 
-    The functional reference execution is computed once per cell and
-    shared by all systems, so the sweep's cost is dominated by the
-    timing models.
+    Args:
+        cache: optional :class:`~repro.experiments.store.ResultCache`;
+            cells whose key is already cached are loaded instead of
+            recomputed, and fresh results are written back.
+        refresh: recompute every cell even when cached (the cache is
+            then overwritten with the fresh results).
+
+    See :func:`repro.experiments.parallel.run_matrix_parallel` for the
+    multi-process variant; both produce identical matrices.
     """
     matrix = ExperimentMatrix()
     for graph_name in graphs:
         for algorithm_name in algorithms:
-            graph = load_benchmark_graph(
-                graph_name, algorithm_name, scale_shift
-            )
-            program = make_algorithm(algorithm_name)
-            reference = run_reference(program, graph, max_iterations)
-            for system_label in systems:
-                system = build_system(system_label)
-                report = system.run(
-                    program, graph, reference=reference
-                )
+            missing = list(systems)
+            if cache is not None and not refresh:
+                missing = []
+                for system_label in systems:
+                    report = cache.get(
+                        graph_name,
+                        algorithm_name,
+                        system_label,
+                        scale_shift=scale_shift,
+                        max_iterations=max_iterations,
+                    )
+                    if report is None:
+                        missing.append(system_label)
+                    else:
+                        matrix.reports[
+                            (graph_name, algorithm_name, system_label)
+                        ] = report
+            if not missing:
+                continue
+            for system_label, report in execute_cell(
+                graph_name,
+                algorithm_name,
+                missing,
+                scale_shift,
+                max_iterations,
+            ):
                 matrix.reports[
                     (graph_name, algorithm_name, system_label)
                 ] = report
+                if cache is not None:
+                    cache.put(
+                        graph_name,
+                        algorithm_name,
+                        system_label,
+                        report,
+                        scale_shift=scale_shift,
+                        max_iterations=max_iterations,
+                    )
+    if cache is not None:
+        # Deterministic key order regardless of which cells were cached.
+        matrix.sort_nominal(graphs, algorithms, systems)
     return matrix
 
 

@@ -1,24 +1,44 @@
 """Persistence for experiment results.
 
-Full sweeps take minutes; this module saves an
-:class:`~repro.experiments.runner.ExperimentMatrix`'s reports as JSON so
-analyses and regression comparisons can reload them without re-running
-(gold property arrays are summarised, not embedded — rerun the reference
-engine if you need them).
+Full sweeps take minutes; this module provides two layers:
+
+* :func:`save_matrix` / :func:`load_matrix_summaries` — save a whole
+  :class:`~repro.experiments.runner.ExperimentMatrix` as one JSON file
+  for analyses and regression comparisons (gold property arrays are
+  summarised, not embedded — rerun the reference engine if you need
+  them).
+* :class:`ResultCache` — a per-cell on-disk cache the matrix runners
+  consult, keyed by (dataset fingerprint, run-config hash, code-model
+  version), so re-running a sweep recomputes only stale cells.  Cached
+  cells round-trip through :meth:`SimulationReport.to_dict` exactly.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
+import repro
+from repro.core.stats import SimulationReport
 from repro.errors import ReproError
-from repro.experiments.runner import ExperimentMatrix
+from repro.experiments.runner import (
+    WEIGHTED_ALGORITHMS,
+    ExperimentMatrix,
+)
+from repro.graph.datasets import DATASETS
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+#: Version stamp mixed into every cache key.  The package version covers
+#: intentional releases; the trailing revision must be bumped whenever a
+#: timing-model change alters report contents between releases —
+#: otherwise stale cells would be served silently.
+CODE_MODEL_VERSION = f"{repro.__version__}+cache1"
 
 
 def save_matrix(matrix: ExperimentMatrix, path: PathLike) -> None:
@@ -62,6 +82,208 @@ def load_matrix_summaries(
         key = (cell["graph"], cell["algorithm"], cell["system"])
         out[key] = cell["report"]
     return out
+
+
+def dataset_fingerprint(
+    graph_name: str, algorithm: str, scale_shift: int = 0
+) -> str:
+    """Deterministic fingerprint of one cell's input graph.
+
+    The benchmark graphs are synthesised deterministically from a
+    :class:`~repro.graph.datasets.DatasetSpec`, so the fingerprint
+    hashes the full generation recipe — spec key, effective scale, edge
+    factor, skew, and whether the algorithm loads weights — without
+    materialising the graph.  Any change to the stand-in recipe (or a
+    new weighted algorithm) changes the fingerprint and invalidates the
+    cached cells that depend on it.
+    """
+    upper = graph_name.upper()
+    spec = DATASETS.get(upper)
+    if spec is None:
+        for candidate in DATASETS.values():
+            if candidate.full_name.upper() == upper:
+                spec = candidate
+                break
+    if spec is None:
+        raise ReproError(f"cannot fingerprint unknown dataset {graph_name!r}")
+    material = {
+        "key": spec.key,
+        "scale": spec.scale + scale_shift,
+        "edge_factor": spec.edge_factor,
+        "skew": spec.skew,
+        "weighted": algorithm.lower() in WEIGHTED_ALGORITHMS,
+    }
+    return hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode()
+    ).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0  # unreadable or version-mismatched entries
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+        }
+
+
+class ResultCache:
+    """On-disk cache of per-cell :class:`SimulationReport` results.
+
+    One JSON file per cell under ``root``, named by the SHA-256 of the
+    cell's key material: the dataset fingerprint, the run configuration
+    (system label, algorithm, iteration cap), and
+    :data:`CODE_MODEL_VERSION`.  Anything that could change a cell's
+    report changes its key, so invalidation is automatic — stale files
+    are simply never looked up again (``prune`` removes them).
+
+    Cached reports are rebuilt with :meth:`SimulationReport.from_dict`;
+    their :meth:`~SimulationReport.to_dict` output is identical to the
+    freshly computed report's, so warm and cold sweeps serialise the
+    same (gold property arrays are summarised, not persisted).
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        model_version: str = CODE_MODEL_VERSION,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.model_version = model_version
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key(
+        self,
+        graph_name: str,
+        algorithm: str,
+        system: str,
+        scale_shift: int = 0,
+        max_iterations: Optional[int] = None,
+    ) -> str:
+        material = {
+            "dataset": dataset_fingerprint(graph_name, algorithm, scale_shift),
+            "graph": graph_name,
+            "algorithm": algorithm,
+            "system": system,
+            "max_iterations": max_iterations,
+            "model_version": self.model_version,
+        }
+        return hashlib.sha256(
+            json.dumps(material, sort_keys=True).encode()
+        ).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Get / put
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        graph_name: str,
+        algorithm: str,
+        system: str,
+        scale_shift: int = 0,
+        max_iterations: Optional[int] = None,
+    ) -> Optional[SimulationReport]:
+        """The cached report for one cell, or None on a miss.
+
+        Unreadable or version-mismatched entries count as misses (and
+        as ``stats.invalid``) rather than raising — a corrupt cache
+        must never break a sweep.
+        """
+        path = self._path(
+            self.key(graph_name, algorithm, system, scale_shift, max_iterations)
+        )
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format_version") != _FORMAT_VERSION:
+                raise ReproError("format version mismatch")
+            report = SimulationReport.from_dict(payload["report"])
+        except (OSError, KeyError, TypeError, ValueError, ReproError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return report
+
+    def put(
+        self,
+        graph_name: str,
+        algorithm: str,
+        system: str,
+        report: SimulationReport,
+        scale_shift: int = 0,
+        max_iterations: Optional[int] = None,
+    ) -> None:
+        """Persist one cell's report (atomically: write + rename)."""
+        key = self.key(
+            graph_name, algorithm, system, scale_shift, max_iterations
+        )
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "cell": {
+                "graph": graph_name,
+                "algorithm": algorithm,
+                "system": system,
+                "scale_shift": scale_shift,
+                "max_iterations": max_iterations,
+                "model_version": self.model_version,
+            },
+            "report": report.to_dict(include_iterations=True),
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def prune(self) -> int:
+        """Delete entries written under a different model version.
+
+        Returns the number of files removed.
+        """
+        removed = 0
+        for path in self.root.glob("*.json"):
+            try:
+                payload = json.loads(path.read_text())
+                version = payload["cell"]["model_version"]
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                version = None
+            if version != self.model_version:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
 
 
 def compare_to_saved(

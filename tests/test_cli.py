@@ -1,6 +1,7 @@
 """CLI tests (exercised in-process through main())."""
 
 import io
+import json
 
 import pytest
 
@@ -111,6 +112,76 @@ class TestSweep:
         )
         assert code == 0
         assert "32" in text and "512" in text
+
+
+class TestBench:
+    BASE = (
+        "bench",
+        "-d", "PK",
+        "-a", "bfs",
+        "--systems", "GraphDynS-128", "ScalaGraph-512",
+        "--scale-shift", "-5",
+        "--max-iterations", "3",
+        "--workers", "1",
+    )
+
+    def test_json_summary(self, tmp_path):
+        code, text = run_cli(
+            *self.BASE, "--cache-dir", str(tmp_path / "cache"), "--json"
+        )
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["schema"] == "repro-bench/1"
+        # Per-phase profiles for both models.
+        analytic = summary["profiles"]["analytic"]
+        assert "analytic.scatter_model" in analytic["timers"]
+        assert "analytic.apply_model" in analytic["timers"]
+        cycle = summary["profiles"]["cycle_sim"]
+        assert "cycle_sim.scatter" in cycle["timers"]
+        assert "cycle_sim.apply" in cycle["timers"]
+        assert cycle["counters"]["cycle_sim.spd_reduces"] > 0
+        # Sweep cells carry machine-readable metrics.
+        assert len(summary["sweep"]["cells"]) == 2
+        for cell in summary["sweep"]["cells"]:
+            assert cell["gteps"] > 0
+        assert summary["cache"]["stores"] == 2
+
+    def test_warm_cache_reported(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_cli(*self.BASE, "--cache-dir", cache_dir, "--json")
+        code, text = run_cli(*self.BASE, "--cache-dir", cache_dir, "--json")
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["cache"]["hits"] == 2
+        assert summary["cache"]["stores"] == 0
+
+    def test_no_cache(self, tmp_path):
+        code, text = run_cli(
+            *self.BASE, "--cache-dir", str(tmp_path / "cache"), "--no-cache",
+            "--json",
+        )
+        assert code == 0
+        assert json.loads(text)["cache"] == {"enabled": False}
+        assert not (tmp_path / "cache").exists()
+
+    def test_human_readable(self, tmp_path):
+        code, text = run_cli(
+            *self.BASE, "--cache-dir", str(tmp_path / "cache")
+        )
+        assert code == 0
+        assert "GTEPS" in text
+        assert "cycle_sim.scatter" in text
+
+    def test_output_file(self, tmp_path):
+        out_file = tmp_path / "bench.json"
+        code, _ = run_cli(
+            *self.BASE,
+            "--cache-dir", str(tmp_path / "cache"),
+            "--output", str(out_file),
+        )
+        assert code == 0
+        summary = json.loads(out_file.read_text())
+        assert summary["schema"] == "repro-bench/1"
 
 
 class TestParser:

@@ -79,6 +79,36 @@ class TestSurvivorMask:
     def test_empty(self):
         assert survivor_mask(np.array([]), np.array([]), 8).size == 0
 
+    # Fractional windows arise when an integer register window is scaled
+    # by an effectiveness factor; semantics are floor (see docstring).
+
+    def test_fractional_window_half_disables_coalescing(self):
+        dst = np.array([5, 5, 5])
+        col = np.zeros(3, dtype=np.int64)
+        assert survivor_mask(dst, col, 0.5).all()
+
+    def test_fractional_window_one_point_five_floors_to_one(self):
+        rng = np.random.default_rng(3)
+        dst = rng.integers(0, 20, 300)
+        col = dst % 4
+        mask_15 = survivor_mask(dst, col, 1.5)
+        mask_10 = survivor_mask(dst, col, 1.0)
+        assert np.array_equal(mask_15, mask_10)
+
+    def test_window_one_exact(self):
+        # gap 1 coalesces, gap 2 survives.
+        dst = np.array([7, 7, 7, 8, 7])
+        col = np.zeros(5, dtype=np.int64)
+        mask = survivor_mask(dst, col, 1.0)
+        assert mask.tolist() == [True, False, False, True, True]
+
+    def test_gap_two_survives_window_one_point_five(self):
+        # If 1.5 were not floored, a gap-2 revisit would (incorrectly)
+        # coalesce under a ceil or round interpretation... it must not.
+        dst = np.array([7, 8, 7])
+        col = np.zeros(3, dtype=np.int64)
+        assert survivor_mask(dst, col, 1.5).all()
+
 
 class TestScatterStats:
     def test_dom_has_no_noc_traffic(self, topo, medium_rmat):

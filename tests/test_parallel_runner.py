@@ -1,0 +1,181 @@
+"""Parallel matrix runner: determinism, caching, graceful fallback."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_matrix, run_matrix_parallel
+from repro.experiments.store import ResultCache
+import repro.experiments.parallel as parallel_mod
+
+GRAPHS = ["PK"]
+ALGORITHMS = ["bfs", "pagerank"]
+SYSTEMS = ["GraphDynS-128", "ScalaGraph-512"]
+KW = dict(scale_shift=-5, max_iterations=4)
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    return run_matrix(GRAPHS, ALGORITHMS, SYSTEMS, **KW)
+
+
+def cell_dicts(matrix):
+    return {
+        key: json.dumps(report.to_dict(include_iterations=True))
+        for key, report in matrix.reports.items()
+    }
+
+
+class TestParallelEqualsSerial:
+    def test_workers_2_identical(self, serial_matrix):
+        par = run_matrix_parallel(
+            GRAPHS, ALGORITHMS, SYSTEMS, max_workers=2, **KW
+        )
+        assert list(par.reports) == list(serial_matrix.reports)
+        assert cell_dicts(par) == cell_dicts(serial_matrix)
+
+    def test_workers_1_serial_path(self, serial_matrix):
+        par = run_matrix_parallel(
+            GRAPHS, ALGORITHMS, SYSTEMS, max_workers=1, **KW
+        )
+        assert cell_dicts(par) == cell_dicts(serial_matrix)
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ConfigurationError):
+            run_matrix_parallel(GRAPHS, ALGORITHMS, SYSTEMS, max_workers=0, **KW)
+        with pytest.raises(ConfigurationError):
+            run_matrix_parallel(GRAPHS, ALGORITHMS, SYSTEMS, max_workers=-2, **KW)
+
+    def test_matrix_helpers_preserved(self, serial_matrix):
+        par = run_matrix_parallel(
+            GRAPHS, ALGORITHMS, SYSTEMS, max_workers=2, **KW
+        )
+        assert par.systems() == serial_matrix.systems()
+        assert par.cells() == serial_matrix.cells()
+        assert par.speedup(
+            "ScalaGraph-512", "GraphDynS-128"
+        ) == pytest.approx(
+            serial_matrix.speedup("ScalaGraph-512", "GraphDynS-128")
+        )
+
+
+class TestPoolFallback:
+    def test_broken_pool_falls_back_to_serial(
+        self, serial_matrix, monkeypatch
+    ):
+        """A pool that cannot run any job must degrade, not raise."""
+
+        def broken_pool(jobs, scale_shift, max_iterations, max_workers, out):
+            parallel_mod._run_jobs_serial(
+                jobs, scale_shift, max_iterations, out
+            )
+
+        calls = []
+
+        def tracked(*args, **kwargs):
+            calls.append(1)
+            return broken_pool(*args, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "_run_jobs_pooled", tracked)
+        par = run_matrix_parallel(
+            GRAPHS, ALGORITHMS, SYSTEMS, max_workers=4, **KW
+        )
+        assert calls  # pooled path was chosen...
+        assert cell_dicts(par) == cell_dicts(serial_matrix)  # ...and correct
+
+    def test_unpicklable_worker_recovers(self, serial_matrix, monkeypatch):
+        """Simulate pickling failure inside the pooled path itself."""
+        import pickle
+
+        real_pooled = parallel_mod._run_jobs_pooled
+
+        def exploding_submit(*args, **kwargs):
+            raise pickle.PicklingError("cannot pickle")
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        monkeypatch.setattr(
+            ProcessPoolExecutor, "submit", exploding_submit
+        )
+        out = {}
+        jobs = [("PK", "bfs", tuple(SYSTEMS))]
+        real_pooled(jobs, KW["scale_shift"], KW["max_iterations"], 2, out)
+        assert set(out) == {("PK", "bfs", s) for s in SYSTEMS}
+
+    def test_single_job_stays_in_process(self, monkeypatch):
+        """One cell never pays process-pool startup."""
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("pool should not be used for one job")
+
+        monkeypatch.setattr(parallel_mod, "_run_jobs_pooled", forbidden)
+        par = run_matrix_parallel(
+            ["PK"], ["bfs"], SYSTEMS, max_workers=8, **KW
+        )
+        assert len(par.reports) == 2
+
+
+class TestCaching:
+    def test_cold_then_warm(self, tmp_path, serial_matrix):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_matrix_parallel(
+            GRAPHS, ALGORITHMS, SYSTEMS, max_workers=2, cache=cache, **KW
+        )
+        ncells = len(cold.reports)
+        assert cache.stats.misses == ncells
+        assert cache.stats.stores == ncells
+        assert cache.stats.hits == 0
+
+        warm = run_matrix_parallel(
+            GRAPHS, ALGORITHMS, SYSTEMS, max_workers=2, cache=cache, **KW
+        )
+        assert cache.stats.hits == ncells
+        assert cache.stats.stores == ncells  # nothing recomputed
+        # Warm-cache cells serialise identically to fresh ones.
+        assert cell_dicts(warm) == cell_dicts(serial_matrix)
+
+    def test_partial_cache_fills_only_missing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_matrix_parallel(
+            GRAPHS, ["bfs"], SYSTEMS, max_workers=1, cache=cache, **KW
+        )
+        stores_before = cache.stats.stores
+        full = run_matrix_parallel(
+            GRAPHS, ALGORITHMS, SYSTEMS, max_workers=1, cache=cache, **KW
+        )
+        # Only the pagerank cells were computed and stored.
+        assert cache.stats.stores == stores_before + len(SYSTEMS)
+        assert len(full.reports) == len(ALGORITHMS) * len(SYSTEMS)
+        # Deterministic nominal order even with mixed cached/fresh cells.
+        assert list(full.reports) == [
+            (g, a, s)
+            for g in GRAPHS
+            for a in ALGORITHMS
+            for s in SYSTEMS
+        ]
+
+    def test_refresh_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_matrix_parallel(
+            GRAPHS, ["bfs"], SYSTEMS, max_workers=1, cache=cache, **KW
+        )
+        stores_before = cache.stats.stores
+        run_matrix_parallel(
+            GRAPHS,
+            ["bfs"],
+            SYSTEMS,
+            max_workers=1,
+            cache=cache,
+            refresh=True,
+            **KW,
+        )
+        assert cache.stats.stores == 2 * stores_before
+        assert cache.stats.hits == 0
+
+    def test_serial_run_matrix_uses_cache_too(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_matrix(GRAPHS, ["bfs"], SYSTEMS, cache=cache, **KW)
+        assert cache.stats.stores == len(SYSTEMS)
+        run_matrix(GRAPHS, ["bfs"], SYSTEMS, cache=cache, **KW)
+        assert cache.stats.hits == len(SYSTEMS)

@@ -6,7 +6,10 @@ import pytest
 
 from repro.errors import ReproError
 from repro.experiments import (
+    CODE_MODEL_VERSION,
+    ResultCache,
     compare_to_saved,
+    dataset_fingerprint,
     load_matrix_summaries,
     run_matrix,
     save_matrix,
@@ -86,3 +89,84 @@ class TestRegressionCompare:
             scale_shift=-4,
         )
         assert compare_to_saved(partial, path) == {}
+
+
+class TestDatasetFingerprint:
+    def test_deterministic(self):
+        assert dataset_fingerprint("PK", "bfs") == dataset_fingerprint(
+            "PK", "bfs"
+        )
+
+    def test_sensitive_to_inputs(self):
+        base = dataset_fingerprint("PK", "bfs", scale_shift=0)
+        assert dataset_fingerprint("PK", "bfs", scale_shift=-1) != base
+        assert dataset_fingerprint("LJ", "bfs") != base
+        # sssp loads weights, bfs does not -> different graph bytes.
+        assert dataset_fingerprint("PK", "sssp") != base
+        # bfs and pagerank read the same unweighted graph.
+        assert dataset_fingerprint("PK", "pagerank") == base
+
+    def test_unknown_graph_raises(self):
+        with pytest.raises(ReproError):
+            dataset_fingerprint("NOPE", "bfs")
+
+
+class TestResultCache:
+    CELL = ("PK", "bfs", "ScalaGraph-512")
+
+    @pytest.fixture
+    def report(self, matrix):
+        return matrix.reports[("PK", "bfs", "ScalaGraph-512")]
+
+    def test_miss_then_hit_round_trip(self, tmp_path, report):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get(*self.CELL, scale_shift=-4) is None
+        cache.put(*self.CELL, report, scale_shift=-4)
+        loaded = cache.get(*self.CELL, scale_shift=-4)
+        assert loaded is not None
+        assert json.dumps(
+            loaded.to_dict(include_iterations=True)
+        ) == json.dumps(report.to_dict(include_iterations=True))
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert len(cache) == 1
+
+    def test_key_sensitivity(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        base = cache.key(*self.CELL, scale_shift=-4)
+        assert cache.key(*self.CELL, scale_shift=-3) != base
+        assert cache.key("PK", "bfs", "GraphDynS-128", scale_shift=-4) != base
+        assert cache.key(*self.CELL, scale_shift=-4, max_iterations=3) != base
+        assert cache.key(*self.CELL, scale_shift=-4) == base
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path, report):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(*self.CELL, report, scale_shift=-4)
+        for path in (tmp_path / "c").glob("*.json"):
+            path.write_text("{broken")
+        assert cache.get(*self.CELL, scale_shift=-4) is None
+        assert cache.stats.invalid == 1
+
+    def test_model_version_mismatch_is_a_miss(self, tmp_path, report):
+        old = ResultCache(tmp_path / "c", model_version="0.0-old")
+        old.put(*self.CELL, report, scale_shift=-4)
+        new = ResultCache(tmp_path / "c")
+        assert new.model_version == CODE_MODEL_VERSION
+        # Different version -> different key -> plain miss.
+        assert new.get(*self.CELL, scale_shift=-4) is None
+
+    def test_prune_removes_stale_versions(self, tmp_path, report):
+        old = ResultCache(tmp_path / "c", model_version="0.0-old")
+        old.put(*self.CELL, report, scale_shift=-4)
+        new = ResultCache(tmp_path / "c")
+        new.put(*self.CELL, report, scale_shift=-4)
+        assert len(new) == 2
+        assert new.prune() == 1
+        assert len(new) == 1
+        assert new.get(*self.CELL, scale_shift=-4) is not None
+
+    def test_clear(self, tmp_path, report):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(*self.CELL, report, scale_shift=-4)
+        assert cache.clear() == 1
+        assert len(cache) == 0
