@@ -1,12 +1,26 @@
 # Convenience targets for the ScalaGraph reproduction.
 
-.PHONY: install test bench examples results clean
+.PHONY: install test test-sanitize lint bench examples results clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# Tier-1 suite with the runtime invariant sanitizer armed.
+test-sanitize:
+	REPRO_SANITIZE=1 PYTHONPATH=src python -m pytest tests/
+
+# Repo-specific static analysis (simlint) plus the strict mypy baseline
+# (skipped gracefully where mypy is not installed).
+lint:
+	PYTHONPATH=src python -m repro lint
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping type check"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,50 @@
+"""Static analysis and runtime invariant checking for the reproduction.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.simlint` — an AST lint framework with
+  repo-specific rules (:mod:`repro.analysis.rules`): determinism,
+  unit discipline, and accounting hygiene enforced at review time.
+  Run via ``python -m repro lint`` or ``make lint``.
+* :mod:`repro.analysis.sanitizer` — :class:`SimSanitizer`, opt-in
+  runtime invariant checks wired into the cycle simulator and NoC
+  (enable with ``REPRO_SANITIZE=1``).
+"""
+
+from repro.analysis.sanitizer import (
+    REPRO_SANITIZE_ENV,
+    SanitizerError,
+    SimSanitizer,
+    maybe_sanitizer,
+    sanitizer_enabled,
+)
+from repro.analysis.simlint import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "REPRO_SANITIZE_ENV",
+    "SanitizerError",
+    "SimSanitizer",
+    "maybe_sanitizer",
+    "sanitizer_enabled",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,196 @@
+"""SimSanitizer: opt-in runtime invariant checks for the cycle simulator.
+
+The static half of the analysis story (:mod:`repro.analysis.simlint`)
+cannot see dynamic accounting bugs — exactly the class PR 1 fixed by
+hand (a ``pending_updates`` shadow counter drifting from the FIFOs it
+shadowed, identity-valued updates silently dropped).  The sanitizer
+checks those ledgers while the simulator runs:
+
+* **update conservation** — per Scatter phase, every dispatched update
+  either coalesces in an aggregation pipeline or retires as exactly one
+  SPD Reduce: ``injected == delivered + coalesced + in_flight`` (with
+  ``in_flight == 0`` at phase exit).
+* **FIFO depth** — no router input queue ever exceeds the configured
+  ``noc_buffer_depth`` (backpressure must be honoured, not absorbed).
+* **cycle monotonicity** — the cycle counter of each simulation epoch
+  advances strictly.
+* **SPD accounting** — ``spd_reduces == updates - coalesced``.
+* **aggregation ledger** — the pipeline's own counters stay consistent
+  (``offered == coalesced + stored + rejected``) and its occupancy never
+  exceeds capacity.
+
+Enable it with ``REPRO_SANITIZE=1`` in the environment (guards a whole
+test run) or by passing ``sanitize=True`` to
+:class:`~repro.core.cycle_sim.CycleAccurateScalaGraph`.  Violations
+raise a structured :class:`~repro.errors.SanitizerError` naming the
+invariant and cycle.  Disabled, the hooks cost nothing: the wired
+components hold ``sanitizer=None`` and skip every check.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from repro.errors import SanitizerError
+
+__all__ = [
+    "REPRO_SANITIZE_ENV",
+    "SanitizerError",
+    "SimSanitizer",
+    "maybe_sanitizer",
+    "sanitizer_enabled",
+]
+
+#: Environment variable that arms the sanitizer globally.
+REPRO_SANITIZE_ENV = "REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def sanitizer_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests sanitized runs."""
+    return os.environ.get(REPRO_SANITIZE_ENV, "").strip().lower() in _TRUTHY
+
+
+def maybe_sanitizer(
+    sanitize: Optional[bool] = None, context: str = "sim"
+) -> Optional["SimSanitizer"]:
+    """The standard opt-in gate: an explicit ``sanitize`` flag wins;
+    ``None`` defers to the environment.  Returns None when disabled so
+    call sites can use ``if sanitizer is not None`` as a zero-cost
+    guard."""
+    if sanitize is None:
+        sanitize = sanitizer_enabled()
+    return SimSanitizer(context=context) if sanitize else None
+
+
+class SimSanitizer:
+    """Assertion hooks the simulators call at well-defined points.
+
+    One instance is shared by a simulator and the components it builds
+    (mesh, routers, aggregation pipelines), so ``checks_run`` counts the
+    total verification work of a run.  The monotonic-cycle check is
+    scoped to an *epoch* (one Scatter phase / one mesh lifetime) via
+    :meth:`begin_epoch`, because each phase legitimately restarts its
+    cycle counter at zero.
+    """
+
+    def __init__(self, context: str = "sim") -> None:
+        self.context = context
+        self.checks_run = 0
+        self.epoch = ""
+        self._last_cycle: Optional[int] = None
+
+    # -- plumbing ------------------------------------------------------
+    def begin_epoch(self, label: str) -> None:
+        """Start a new cycle-counting scope (e.g. one Scatter phase)."""
+        self.epoch = label
+        self._last_cycle = None
+
+    def fail(
+        self, invariant: str, message: str, cycle: Optional[int] = None
+    ) -> None:
+        where = f"{self.context}/{self.epoch}" if self.epoch else self.context
+        raise SanitizerError(
+            invariant, message, cycle=cycle, context=where
+        )
+
+    # -- invariants ----------------------------------------------------
+    def check_cycle_monotonic(self, cycle: int) -> None:
+        """The epoch's cycle counter must advance strictly."""
+        self.checks_run += 1
+        if self._last_cycle is not None and cycle <= self._last_cycle:
+            self.fail(
+                "cycle-monotonic",
+                f"cycle counter moved {self._last_cycle} -> {cycle}; "
+                "time must advance strictly",
+                cycle=cycle,
+            )
+        self._last_cycle = cycle
+
+    def check_fifo_depth(
+        self,
+        occupancy: int,
+        depth: int,
+        where: str,
+        cycle: Optional[int] = None,
+    ) -> None:
+        """No FIFO may exceed its configured buffer depth."""
+        self.checks_run += 1
+        if occupancy > depth:
+            self.fail(
+                "fifo-depth",
+                f"{where} holds {occupancy} entries, exceeding "
+                f"buffer depth {depth}",
+                cycle=cycle,
+            )
+
+    def check_conservation(
+        self,
+        *,
+        injected: int,
+        delivered: int,
+        coalesced: int,
+        in_flight: int,
+        where: str,
+        cycle: Optional[int] = None,
+    ) -> None:
+        """Updates are conserved: everything injected is delivered,
+        coalesced, or still in flight — nothing dropped or duplicated."""
+        self.checks_run += 1
+        if injected != delivered + coalesced + in_flight:
+            self.fail(
+                "update-conservation",
+                f"{where}: injected={injected} != delivered={delivered} "
+                f"+ coalesced={coalesced} + in_flight={in_flight} "
+                f"(delta {injected - delivered - coalesced - in_flight})",
+                cycle=cycle,
+            )
+
+    def check_spd_accounting(
+        self,
+        *,
+        spd_reduces: int,
+        updates: int,
+        coalesced: int,
+        cycle: Optional[int] = None,
+    ) -> None:
+        """Every non-coalesced update retires as exactly one SPD
+        Reduce: ``spd_reduces == updates - coalesced``."""
+        self.checks_run += 1
+        if spd_reduces != updates - coalesced:
+            self.fail(
+                "spd-accounting",
+                f"spd_reduces={spd_reduces} != updates={updates} - "
+                f"coalesced={coalesced}",
+                cycle=cycle,
+            )
+
+    def check_aggregation_ledger(
+        self, pipeline: Any, cycle: Optional[int] = None
+    ) -> None:
+        """The aggregation pipeline's counters must balance and its
+        occupancy stay within capacity.
+
+        ``pipeline`` is an
+        :class:`~repro.noc.aggregation.AggregationPipeline` (typed
+        loosely to keep this module dependency-free).
+        """
+        self.checks_run += 1
+        stats = pipeline.stats
+        balance = stats.coalesced + stats.stored + stats.rejected
+        if stats.offered != balance:
+            self.fail(
+                "aggregation-ledger",
+                f"offered={stats.offered} != coalesced={stats.coalesced} "
+                f"+ stored={stats.stored} + rejected={stats.rejected}",
+                cycle=cycle,
+            )
+        occupancy = pipeline.occupancy()
+        if not 0 <= occupancy <= pipeline.capacity:
+            self.fail(
+                "aggregation-ledger",
+                f"occupancy {occupancy} outside [0, {pipeline.capacity}]",
+                cycle=cycle,
+            )

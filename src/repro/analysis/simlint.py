@@ -1,0 +1,307 @@
+"""simlint: a pure-stdlib AST lint framework for this repository.
+
+The reproduction's credibility rests on properties the test suite only
+samples — determinism (every RNG seeded), unit discipline across the
+calibrated timing constants (cycles vs ns vs MHz), and honest accounting
+of updates through the mesh.  ``simlint`` enforces the static half of
+those properties as repo-specific lint rules over the Python AST; the
+dynamic half is :mod:`repro.analysis.sanitizer`.
+
+Architecture:
+
+* :class:`Rule` — one registered check: an id (``SIM...``), a severity,
+  a one-line description, and a ``check(FileContext) -> [Finding]``
+  callable.  Rules self-register through the :func:`register` decorator;
+  the shipped rules live in :mod:`repro.analysis.rules`.
+* :class:`FileContext` — one parsed file handed to every rule: AST,
+  source lines, and the per-line suppression table.
+* Suppressions — a trailing ``# simlint: disable=RULE[,RULE...]``
+  comment silences the named rules (or ``all``) on that line.
+* Reporters — :func:`render_text` and :func:`render_json`.
+
+Run it via ``python -m repro lint`` or ``make lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import enum
+import json
+import re
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Rule",
+    "FileContext",
+    "register",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings are correctness/determinism hazards; ``WARNING``
+    findings are maintainability hazards.  Both fail the lint gate —
+    the distinction exists for reporting and for future policy knobs.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: id of the violated rule (e.g. ``SIM101``).
+        severity: the rule's severity (``"error"`` or ``"warning"``).
+        path: file the violation is in.
+        line: 1-based source line.
+        col: 0-based column.
+        message: human-readable description of this occurrence.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """A registered lint rule.
+
+    Attributes:
+        rule_id: stable identifier used in reports and suppressions.
+        severity: default severity of the rule's findings.
+        description: one-line summary shown by ``repro lint --list-rules``.
+        check: callable producing the findings for one file.
+    """
+
+    rule_id: str
+    severity: Severity
+    description: str
+    check: Callable[["FileContext"], List[Finding]]
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+#: Trailing-comment suppression syntax: ``# simlint: disable=SIM101,SIM202``
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Za-z0-9_,\- ]+)"
+)
+
+
+def register(
+    rule_id: str, severity: Severity, description: str
+) -> Callable[[Callable[["FileContext"], List[Finding]]], Rule]:
+    """Decorator registering a check function as a :class:`Rule`."""
+
+    def decorator(check: Callable[["FileContext"], List[Finding]]) -> Rule:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate simlint rule id {rule_id!r}")
+        rule = Rule(
+            rule_id=rule_id,
+            severity=severity,
+            description=description,
+            check=check,
+        )
+        _REGISTRY[rule_id] = rule
+        return rule
+
+    return decorator
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, sorted by id (registration triggers on import
+    of :mod:`repro.analysis.rules`)."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_rules_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown simlint rule {rule_id!r}; known: {known}"
+        ) from None
+
+
+def _ensure_rules_loaded() -> None:
+    # Deferred so `import simlint` alone never costs the rule imports,
+    # while registry queries always see the shipped rules.
+    from repro.analysis import rules  # noqa: F401
+
+
+class FileContext:
+    """One source file as seen by every rule: AST plus line metadata."""
+
+    def __init__(self, source: str, path: str = "<string>") -> None:
+        self.source = source
+        self.path = path
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self._suppressions = self._parse_suppressions(self.lines)
+
+    @staticmethod
+    def _parse_suppressions(
+        lines: Sequence[str],
+    ) -> Dict[int, FrozenSet[str]]:
+        table: Dict[int, FrozenSet[str]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                names = frozenset(
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                )
+                table[lineno] = names
+        return table
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        names = self._suppressions.get(line, frozenset())
+        return rule_id in names or "all" in names
+
+    def finding(
+        self, rule: Rule, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at an AST node."""
+        return Finding(
+            rule=rule.rule_id,
+            severity=rule.severity.value,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _select_rules(select: Optional[Iterable[str]]) -> List[Rule]:
+    if select is None:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in select]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; returns unsuppressed findings sorted by
+    location then rule id.
+
+    A file that does not parse yields a single synthetic ``SIM000``
+    finding rather than crashing the whole run.
+    """
+    try:
+        ctx = FileContext(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SIM000",
+                severity=Severity.ERROR.value,
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in _select_rules(select):
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: Path, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    return lint_source(
+        path.read_text(encoding="utf-8"), path=str(path), select=select
+    )
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    select: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint files and directories (recursively, ``*.py`` only).
+
+    Returns ``(findings, files_checked)``.
+    """
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings: List[Finding] = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, select=select))
+    return findings, len(files)
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """The human-facing report: one ``path:line:col: RULE message`` per
+    finding plus a one-line summary."""
+    out = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.severity}] {f.message}"
+        for f in findings
+    ]
+    noun = "file" if files_checked == 1 else "files"
+    if findings:
+        out.append(
+            f"simlint: {len(findings)} finding(s) in {files_checked} {noun}"
+        )
+    else:
+        out.append(f"simlint: clean ({files_checked} {noun} checked)")
+    return "\n".join(out)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """Machine-readable report consumed by CI."""
+    return json.dumps(
+        {
+            "schema": "repro-simlint/1",
+            "files_checked": files_checked,
+            "num_findings": len(findings),
+            "findings": [f.to_dict() for f in findings],
+        },
+        indent=2,
+    )

@@ -8,6 +8,7 @@ Examples::
     python -m repro compare -d TW -a bfs
     python -m repro sweep -d OR -a pagerank --pes 32 64 128 256 512
     python -m repro bench -d PK -a bfs --scale-shift -4 --workers 4 --json
+    python -m repro lint --format json
 """
 
 from __future__ import annotations
@@ -167,6 +168,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="also write the JSON summary to FILE",
+    )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="repo-specific static analysis (simlint)",
+        description="Run the simlint rules (determinism, unit "
+        "discipline, accounting hygiene) over Python sources. "
+        "Exits 1 when any finding survives suppression.",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="format_",
+        help="report format (default: text)",
+    )
+    lint_p.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
     )
 
     sub.add_parser("datasets", help="list the dataset registry")
@@ -415,6 +449,46 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace, out) -> int:
+    """Static analysis gate: non-zero exit on any surviving finding."""
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import (
+        all_rules,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        rows = [
+            [rule.rule_id, rule.severity.value, rule.description]
+            for rule in all_rules()
+        ]
+        print(
+            format_table(["Rule", "Severity", "Description"], rows,
+                         title="simlint rules"),
+            file=out,
+        )
+        return 0
+
+    paths = (
+        [Path(p) for p in args.paths]
+        if args.paths
+        else [Path(repro.__file__).parent]
+    )
+    select = (
+        [r.strip() for r in args.select.split(",") if r.strip()]
+        if args.select
+        else None
+    )
+    findings, files_checked = lint_paths(paths, select=select)
+    renderer = render_json if args.format_ == "json" else render_text
+    print(renderer(findings, files_checked), file=out)
+    return 1 if findings else 0
+
+
 def cmd_datasets(args: argparse.Namespace, out) -> int:
     rows = [
         [
@@ -452,6 +526,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "bench": cmd_bench,
+    "lint": cmd_lint,
     "datasets": cmd_datasets,
 }
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.algorithms.base import ProgramContext, VertexProgram
 from repro.algorithms.reference import gather_frontier_edges
+from repro.analysis.sanitizer import SimSanitizer, maybe_sanitizer
 from repro.core.config import ScalaGraphConfig
 from repro.core.profiling import NULL_PROFILER, Profiler
 from repro.errors import SimulationError
@@ -125,6 +126,10 @@ class CycleAccurateScalaGraph:
         profiler: optional wall-clock profiler; when given, the run's
             per-phase host-time breakdown lands on
             :attr:`CycleResult.profile`.
+        sanitize: arm the :class:`~repro.analysis.sanitizer.SimSanitizer`
+            runtime invariant checks (update conservation, FIFO depths,
+            cycle monotonicity, SPD accounting).  None defers to the
+            ``REPRO_SANITIZE`` environment variable.
     """
 
     def __init__(
@@ -132,12 +137,16 @@ class CycleAccurateScalaGraph:
         config: Optional[ScalaGraphConfig] = None,
         noc_buffer_depth: int = 4,
         profiler: Optional[Profiler] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.config = config or ScalaGraphConfig(
             num_tiles=1, pe_rows=4, pe_cols=4
         )
         self.noc_buffer_depth = noc_buffer_depth
         self.profiler = profiler
+        self.sanitizer: Optional[SimSanitizer] = maybe_sanitizer(
+            sanitize, context="cycle_sim"
+        )
         self.topology = MeshTopology(
             rows=self.config.pe_rows, cols=self.config.total_cols
         )
@@ -205,6 +214,8 @@ class CycleAccurateScalaGraph:
         stats.total_cycles = sum(stats.scatter_cycles) + sum(
             stats.apply_cycles
         )
+        if self.sanitizer is not None:
+            self._check_run_totals(stats)
         prof.count("cycle_sim.iterations", iteration)
         prof.count("cycle_sim.scatter_cycles", sum(stats.scatter_cycles))
         prof.count("cycle_sim.apply_cycles", sum(stats.apply_cycles))
@@ -219,6 +230,31 @@ class CycleAccurateScalaGraph:
                 self.profiler.to_dict() if self.profiler is not None else None
             ),
         )
+
+    def _check_run_totals(self, stats: CycleStats) -> None:
+        """End-of-run audit: the per-phase ledgers must sum to the run
+        totals, and the run totals must balance."""
+        san = self.sanitizer
+        assert san is not None
+        san.begin_epoch("run-totals")
+        san.check_conservation(
+            injected=stats.updates_processed,
+            delivered=stats.spd_reduces,
+            coalesced=stats.updates_coalesced,
+            in_flight=0,
+            where="run totals",
+        )
+        san.check_spd_accounting(
+            spd_reduces=stats.spd_reduces,
+            updates=stats.updates_processed,
+            coalesced=stats.updates_coalesced,
+        )
+        if sum(stats.phase_updates) != stats.updates_processed:
+            san.fail(
+                "update-conservation",
+                f"per-phase updates {sum(stats.phase_updates)} != run "
+                f"total {stats.updates_processed}",
+            )
 
     # ------------------------------------------------------------------
     # Scatter: the cycle loop
@@ -291,8 +327,14 @@ class CycleAccurateScalaGraph:
         spd_fifos: List[Deque[Tuple[int, float]]] = [
             deque() for _ in range(self.topology.num_nodes)
         ]
+        if self.sanitizer is not None:
+            self.sanitizer.begin_epoch(
+                f"scatter[{len(stats.scatter_cycles)}]"
+            )
         network = MeshNetwork(
-            self.topology, buffer_depth=self.noc_buffer_depth
+            self.topology,
+            buffer_depth=self.noc_buffer_depth,
+            sanitizer=self.sanitizer,
         )
 
         def pipeline_for(pe: int) -> Optional[AggregationPipeline]:
@@ -303,7 +345,10 @@ class CycleAccurateScalaGraph:
                 stages = max(registers // 4, 1)
                 cols = max(registers // stages, 1)
                 pipe = AggregationPipeline(
-                    num_stages=stages, num_columns=cols, reduce_fn=reduce_fn
+                    num_stages=stages,
+                    num_columns=cols,
+                    reduce_fn=reduce_fn,
+                    sanitizer=self.sanitizer,
                 )
                 pipelines[pe] = pipe
             return pipe
@@ -411,11 +456,33 @@ class CycleAccurateScalaGraph:
 
         stats.updates_processed += int(src.size)
         stats.noc_hops += network.stats.total_hops
+        phase_coalesced = stats.updates_coalesced - coalesced_before
+        phase_spd = stats.spd_reduces - spd_reduces_before
         stats.phase_updates.append(int(src.size))
-        stats.phase_coalesced.append(
-            stats.updates_coalesced - coalesced_before
-        )
-        stats.phase_spd_reduces.append(stats.spd_reduces - spd_reduces_before)
+        stats.phase_coalesced.append(phase_coalesced)
+        stats.phase_spd_reduces.append(phase_spd)
+        if self.sanitizer is not None:
+            in_flight = (
+                edges_remaining
+                + sum(len(f) for f in out_fifos)
+                + sum(len(f) for f in spd_fifos)
+                + sum(p.occupancy() for p in pipelines.values())
+                + sum(r.occupancy() for r in network.routers)
+            )
+            self.sanitizer.check_conservation(
+                injected=int(src.size),
+                delivered=phase_spd,
+                coalesced=phase_coalesced,
+                in_flight=in_flight,
+                where="scatter phase",
+                cycle=cycle,
+            )
+            self.sanitizer.check_spd_accounting(
+                spd_reduces=phase_spd,
+                updates=int(src.size),
+                coalesced=phase_coalesced,
+                cycle=cycle,
+            )
         return cycle
 
     def _apply_cycles(self, touched: np.ndarray) -> int:

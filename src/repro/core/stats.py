@@ -15,6 +15,16 @@ class PhaseCycles:
     The phase's cycle count is the maximum of the four bounds plus fixed
     overheads — the timing model mirrors the paper's bottleneck analysis
     (Section II-C: on-chip scalability vs off-chip bandwidth).
+
+    Attributes:
+        compute: dispatch/GU bound — cycles to issue every edge workload.
+        noc: interconnect bound — cycles to move surviving updates over
+            the busiest links.
+        spd: scratchpad bound — cycles to retire the serialised Reduces
+            of the busiest slice.
+        memory: off-chip bound — cycles to stream the phase's HBM bytes.
+        overhead: fixed per-phase control cost added on top of the
+            binding bound (drain, first-access latency, turnaround).
     """
 
     compute: float

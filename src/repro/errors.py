@@ -1,5 +1,9 @@
 """Exception hierarchy for the ScalaGraph reproduction library."""
 
+from __future__ import annotations
+
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -28,3 +32,33 @@ class CapacityError(ReproError):
 
 class SimulationError(ReproError):
     """A simulator reached an inconsistent state."""
+
+
+class SanitizerError(SimulationError):
+    """A runtime invariant checked by the SimSanitizer was violated.
+
+    Structured so CI logs and tests can name the broken invariant
+    without parsing prose.
+
+    Attributes:
+        invariant: machine-readable name of the violated invariant
+            (e.g. ``update-conservation``, ``fifo-depth``).
+        cycle: simulated cycle at which the violation was detected, or
+            None for non-cycle checks.
+        context: which simulator/component raised (e.g. ``cycle_sim``).
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        cycle: Optional[int] = None,
+        context: str = "sim",
+    ) -> None:
+        self.invariant = invariant
+        self.cycle = cycle
+        self.context = context
+        where = f" at cycle {cycle}" if cycle is not None else ""
+        super().__init__(
+            f"[{context}:{invariant}]{where}: {message}"
+        )

@@ -17,7 +17,12 @@ from repro.graph.generators import (
     rmat_graph,
     star_graph,
 )
-from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+    stable_seed,
+)
 from repro.graph.io import (
     load_csr,
     load_edge_list,
@@ -48,6 +53,7 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "load_dataset",
+    "stable_seed",
     "load_csr",
     "load_edge_list",
     "load_matrix_market",

@@ -153,7 +153,9 @@ def load_dataset(
             case-insensitive; full names also accepted.
         scale_shift: added to the spec's log2 vertex count — use negative
             values for quick tests (e.g. ``-4`` gives a 1/16-scale graph).
-        seed: RNG seed; defaults to a per-dataset stable seed.
+        seed: RNG seed; defaults to :func:`stable_seed` of the key (the
+            public determinism contract — two fresh processes produce
+            byte-identical graphs for the same spec).
         weighted: attach random integer weights in [0, 255] (for SSSP).
 
     Returns:
@@ -172,11 +174,11 @@ def load_dataset(
         a=a,
         b=b,
         c=c,
-        seed=seed if seed is not None else _stable_seed(spec.key),
+        seed=seed if seed is not None else stable_seed(spec.key),
         name=spec.key,
     )
     if weighted:
-        graph = graph.with_random_weights(seed=_stable_seed(spec.key) + 1)
+        graph = graph.with_random_weights(seed=stable_seed(spec.key) + 1)
     return graph
 
 
@@ -192,5 +194,28 @@ def _resolve(name: str) -> DatasetSpec:
     )
 
 
-def _stable_seed(key: str) -> int:
+def stable_seed(key: str) -> int:
+    """Deterministic RNG seed for a dataset key — the public
+    determinism contract of the stand-in generators.
+
+    Two properties the rest of the system depends on (the result cache
+    keys graphs by content fingerprint; ScalaGraph's deterministic
+    dispatch assumes identical inputs across processes):
+
+    * **process-independent** — a pure polynomial hash of the key's
+      code points (base 131, mod 2^31), so it does not vary with
+      ``PYTHONHASHSEED``, platform, or Python version; and
+    * **stable across releases** — the formula is frozen; changing it
+      would silently invalidate every cached result and cross-process
+      comparison, so treat it as an on-disk format.
+
+    :func:`load_dataset` seeds unweighted generation with
+    ``stable_seed(key)`` and weight generation with
+    ``stable_seed(key) + 1``; the same spec therefore yields
+    byte-identical CSR arrays in any two fresh processes.
+    """
     return sum(ord(ch) * 131 ** i for i, ch in enumerate(key)) % (2**31)
+
+
+#: Backward-compatible alias (pre-dates the public contract).
+_stable_seed = stable_seed

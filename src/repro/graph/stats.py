@@ -18,7 +18,20 @@ from repro.graph.csr import CSRGraph
 
 @dataclass(frozen=True)
 class DegreeStats:
-    """Summary statistics of a degree distribution."""
+    """Summary statistics of a degree distribution.
+
+    Attributes:
+        mean: average degree (edges / vertices).
+        median: 50th-percentile degree.
+        maximum: largest degree observed.
+        p99: 99th-percentile degree.
+        gini: Gini coefficient of the degree distribution (0 = uniform,
+            1 = one vertex owns every edge).
+        top1pct_edge_share: fraction of all edges owned by the top 1% of
+            vertices by degree — the load-imbalance driver.
+        power_law_exponent: fitted exponent of the degree tail
+            (Clauset-style MLE over degrees >= 2).
+    """
 
     mean: float
     median: float

@@ -22,11 +22,14 @@ Two models live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # hook is duck-typed; no runtime import needed
+    from repro.analysis.sanitizer import SimSanitizer
 
 ReduceFn = Callable[[float, float], float]
 
@@ -66,12 +69,15 @@ class AggregationPipeline:
         num_columns: int = 4,
         reduce_fn: ReduceFn = lambda a, b: a + b,
         column_hash: Optional[Callable[[int], int]] = None,
+        sanitizer: Optional["SimSanitizer"] = None,
     ) -> None:
         if num_stages <= 0 or num_columns <= 0:
             raise ConfigurationError("pipeline dimensions must be positive")
         self.num_stages = num_stages
         self.num_columns = num_columns
         self.reduce_fn = reduce_fn
+        #: Optional runtime ledger audit (repro.analysis.sanitizer).
+        self.sanitizer = sanitizer
         self._column_hash = column_hash or (lambda vid: vid % num_columns)
         # _array[stage][column] is Optional[_Register]; stage 0 is the
         # output stage.
@@ -113,13 +119,20 @@ class AggregationPipeline:
             if reg is None:
                 self._array[stage][col] = _Register(vertex, value)
                 self.stats.stored += 1
+                self._audit()
                 return "stored"
             if reg.vertex == vertex:
                 reg.value = self.reduce_fn(reg.value, value)
                 self.stats.coalesced += 1
+                self._audit()
                 return "coalesced"
         self.stats.rejected += 1
+        self._audit()
         return "rejected"
+
+    def _audit(self) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.check_aggregation_ledger(self)
 
     # ------------------------------------------------------------------
     # Read path (systolic shift toward stage 0)
@@ -142,6 +155,7 @@ class AggregationPipeline:
         self._array[0][column] = None
         self._shift_up(column)
         self.stats.emitted += 1
+        self._audit()
         return out.vertex, out.value
 
     def drain(self) -> List[Tuple[int, float]]:

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # import-free at runtime: the hook is duck-typed
+    from repro.analysis.sanitizer import SimSanitizer
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.noc.packet import Packet
@@ -20,6 +23,7 @@ from repro.noc.router import (
     EAST,
     LOCAL,
     NORTH,
+    PORT_NAMES,
     SOUTH,
     WEST,
     Router,
@@ -42,6 +46,8 @@ class MeshStats:
 
     Attributes:
         cycles: total simulated cycles.
+        injected: packets accepted into a source router's local buffer
+            (the conservation ledger's debit side).
         delivered: number of packets that reached their destination.
         total_hops: router-to-router link traversals (NoC communications
             in the paper's sense — traffic injected into the network).
@@ -52,6 +58,7 @@ class MeshStats:
     """
 
     cycles: int = 0
+    injected: int = 0
     delivered: int = 0
     total_hops: int = 0
     total_latency: int = 0
@@ -79,8 +86,13 @@ class MeshNetwork:
         self,
         topology: MeshTopology,
         buffer_depth: int = 4,
+        sanitizer: Optional["SimSanitizer"] = None,
     ) -> None:
         self.topology = topology
+        self.buffer_depth = buffer_depth
+        #: Optional runtime invariant checker (see
+        #: :mod:`repro.analysis.sanitizer`); None = zero overhead.
+        self.sanitizer = sanitizer
         self.routers = [
             Router(node=n, buffer_depth=buffer_depth)
             for n in range(topology.num_nodes)
@@ -118,6 +130,7 @@ class MeshNetwork:
             return False
         packet.injected_cycle = self.cycle
         router.accept(LOCAL, packet)
+        self.stats.injected += 1
         return True
 
     # ------------------------------------------------------------------
@@ -204,6 +217,30 @@ class MeshNetwork:
         self.stats.max_occupancy = max(self.stats.max_occupancy, occupancy)
         self.cycle += 1
         self.stats.cycles = self.cycle
+        if self.sanitizer is not None:
+            self._run_sanitizer(occupancy)
+
+    def _run_sanitizer(self, occupancy: int) -> None:
+        """End-of-cycle invariant audit (opt-in, see module docstring of
+        :mod:`repro.analysis.sanitizer`)."""
+        san = self.sanitizer
+        san.check_cycle_monotonic(self.cycle)
+        for router in self.routers:
+            for port, depth in enumerate(router.port_occupancy()):
+                san.check_fifo_depth(
+                    depth,
+                    self.buffer_depth,
+                    where=f"router {router.node} port {PORT_NAMES[port]}",
+                    cycle=self.cycle,
+                )
+        san.check_conservation(
+            injected=self.stats.injected,
+            delivered=self.stats.delivered,
+            coalesced=0,  # the mesh moves packets; it never merges them
+            in_flight=occupancy + len(self._in_flight),
+            where="mesh",
+            cycle=self.cycle,
+        )
 
     def run_until_drained(self, max_cycles: int = 1_000_000) -> MeshStats:
         """Step until every scheduled packet has been delivered."""
@@ -256,6 +293,7 @@ class MeshNetwork:
             if router.has_space(LOCAL):
                 packet.injected_cycle = when  # latency counts queueing time
                 router.accept(LOCAL, packet)
+                self.stats.injected += 1
             else:
                 deferred.append((self.cycle + 1, seq, packet))
         for item in deferred:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List
+from typing import Deque, Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.noc.packet import Packet
@@ -64,7 +64,13 @@ class Router:
         self.inputs[in_port].append(packet)
 
     def occupancy(self) -> int:
-        return sum(len(q) for q in self.inputs)
+        return sum(self.port_occupancy())
+
+    def port_occupancy(self) -> Tuple[int, ...]:
+        """Entries queued per input port, indexed like ``PORT_NAMES``
+        (the per-FIFO ledger the SimSanitizer audits against
+        ``buffer_depth``)."""
+        return tuple(len(q) for q in self.inputs)
 
     def arbitrate(
         self, topology: MeshTopology

@@ -1,0 +1,122 @@
+"""Error-path coverage: the exception hierarchy is structured, and the
+validation errors users actually hit carry actionable messages.
+
+Complements test_config.py (which checks that bad values are rejected)
+by pinning the *message text* — CI logs and callers rely on it naming
+the offending field.
+"""
+
+import pytest
+
+from repro.core import ScalaGraphConfig
+from repro.core.config import TimingParams
+from repro.errors import (
+    ConfigurationError,
+    GraphFormatError,
+    ReproError,
+    SanitizerError,
+    SimulationError,
+)
+from repro.graph import load_dataset
+from repro.noc.aggregation import AggregationPipeline
+from repro.noc.mesh import MeshNetwork
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology
+
+#: (constructor kwargs, substring the error message must contain).
+BAD_CONFIGS = [
+    (dict(num_tiles=0), "num_tiles must be positive"),
+    (dict(pe_rows=0), "PE matrix dimensions must be positive"),
+    (dict(pe_cols=-1), "PE matrix dimensions must be positive"),
+    (dict(mapping="ring"), "unknown mapping 'ring'"),
+    (dict(aggregation_registers=-1), "aggregation_registers must be >= 0"),
+    (dict(degree_aware_window=0), "degree_aware_window must be positive"),
+    (dict(edge_bytes=0), "record sizes must be positive"),
+    (dict(vertex_bytes=-2), "record sizes must be positive"),
+    (dict(frequency_mhz=0.0), "frequency must be positive"),
+]
+
+
+class TestConfigurationMessages:
+    @pytest.mark.parametrize(
+        "kwargs,needle",
+        BAD_CONFIGS,
+        ids=[next(iter(kwargs)) for kwargs, _ in BAD_CONFIGS],
+    )
+    def test_invalid_field_is_named(self, kwargs, needle):
+        with pytest.raises(ConfigurationError) as exc:
+            ScalaGraphConfig(**kwargs)
+        assert needle in str(exc.value)
+
+    def test_unknown_mapping_lists_choices(self):
+        with pytest.raises(ConfigurationError) as exc:
+            ScalaGraphConfig(mapping="hypercube")
+        assert "rom/som/dom/rom-torus" in str(exc.value)
+
+    def test_timing_dispatch_efficiency_range(self):
+        with pytest.raises(ConfigurationError) as exc:
+            TimingParams(dispatch_efficiency=0.0)
+        assert "dispatch_efficiency must be in (0, 1]" in str(exc.value)
+
+    def test_timing_pipelining_efficiency_range(self):
+        with pytest.raises(ConfigurationError) as exc:
+            TimingParams(pipelining_efficiency=1.5)
+        assert "pipelining_efficiency must be in [0, 1]" in str(exc.value)
+
+    def test_with_pes_indivisible_tiles(self):
+        with pytest.raises(ConfigurationError) as exc:
+            ScalaGraphConfig().with_pes(33)
+        assert "33 PEs do not divide into 2 tiles" in str(exc.value)
+
+    def test_with_pes_partial_column(self):
+        with pytest.raises(ConfigurationError) as exc:
+            ScalaGraphConfig().with_pes(10)
+        assert "not a whole number" in str(exc.value)
+
+    def test_pipeline_dimensions(self):
+        with pytest.raises(ConfigurationError) as exc:
+            AggregationPipeline(num_stages=0)
+        assert "pipeline dimensions must be positive" in str(exc.value)
+
+    def test_mesh_rejects_out_of_range_node(self):
+        network = MeshNetwork(MeshTopology(rows=2, cols=2))
+        with pytest.raises(ConfigurationError) as exc:
+            network.inject(Packet(src=0, dst=9))
+        assert "node 9 outside mesh with 4 nodes" in str(exc.value)
+
+
+class TestDatasetMessages:
+    def test_unknown_dataset_lists_known_codes(self):
+        with pytest.raises(GraphFormatError) as exc:
+            load_dataset("nope")
+        message = str(exc.value)
+        assert "unknown dataset 'nope'" in message
+        assert "'PK'" in message  # the known codes are enumerated
+
+    def test_excessive_scale_shift_names_dataset(self):
+        with pytest.raises(GraphFormatError) as exc:
+            load_dataset("PK", scale_shift=-99)
+        assert "makes PK empty" in str(exc.value)
+
+
+class TestSanitizerErrorStructure:
+    def test_hierarchy(self):
+        err = SanitizerError("fifo-depth", "overflow", cycle=5, context="noc")
+        assert isinstance(err, SimulationError)
+        assert isinstance(err, ReproError)
+
+    def test_attributes_and_message(self):
+        err = SanitizerError(
+            "update-conservation", "delta 3", cycle=42, context="cycle_sim"
+        )
+        assert err.invariant == "update-conservation"
+        assert err.cycle == 42
+        assert err.context == "cycle_sim"
+        assert str(err) == (
+            "[cycle_sim:update-conservation] at cycle 42: delta 3"
+        )
+
+    def test_cycle_defaults_to_none(self):
+        err = SanitizerError("spd-accounting", "off by one")
+        assert err.cycle is None
+        assert str(err) == "[sim:spd-accounting]: off by one"
