@@ -30,7 +30,7 @@ components hold ``sanitizer=None`` and skip every check.
 from __future__ import annotations
 
 import os
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.errors import SanitizerError
 
@@ -123,6 +123,55 @@ class SimSanitizer:
                 "fifo-depth",
                 f"{where} holds {occupancy} entries, exceeding "
                 f"buffer depth {depth}",
+                cycle=cycle,
+            )
+
+    def check_fifo_depth_array(
+        self,
+        occupancies: Any,
+        depth: int,
+        *,
+        where: str,
+        cycle: Optional[int] = None,
+        port_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Array form of :meth:`check_fifo_depth` for struct-of-arrays
+        engines: audits every ``(node, port)`` occupancy in one call.
+
+        ``occupancies`` is a 2-D integer array (duck-typed to keep this
+        module dependency-free — any object with ``size``/``shape``/
+        ``max``/``min``/``argmax``/``argmin`` works, in practice a NumPy
+        ``(nodes, ports)`` matrix).  ``port_names`` labels the second
+        axis in failure messages.
+        """
+        self.checks_run += 1
+        if not occupancies.size:
+            return
+        ports = occupancies.shape[1] if len(occupancies.shape) > 1 else 1
+
+        def _label(flat: int) -> str:
+            node, port = divmod(flat, ports)
+            name = (
+                port_names[port]
+                if port_names is not None and port < len(port_names)
+                else str(port)
+            )
+            return f"node {node} port {name}"
+
+        worst = int(occupancies.max())
+        if worst > depth:
+            self.fail(
+                "fifo-depth",
+                f"{where} {_label(int(occupancies.argmax()))} holds "
+                f"{worst} entries, exceeding buffer depth {depth}",
+                cycle=cycle,
+            )
+        least = int(occupancies.min())
+        if least < 0:
+            self.fail(
+                "fifo-depth",
+                f"{where} {_label(int(occupancies.argmin()))} reports "
+                f"negative occupancy {least}; the ledger is corrupt",
                 cycle=cycle,
             )
 

@@ -323,6 +323,51 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _probe_noc_engines(
+    rows: int = 8, cols: int = 8, packets: int = 512, seed: int = 0
+) -> dict:
+    """Time one uniform-random drain on each mesh engine.
+
+    A small in-process rendition of ``benchmarks/bench_noc_engine_speed``
+    so ``repro bench --json`` always carries a current reference-vs-
+    vectorized cycles/sec comparison (the full artefact lives in
+    ``BENCH_PR3.json``).  Both engines must agree on the cycle count —
+    a cheap standing equivalence probe.
+    """
+    from repro.noc import MeshTopology, Packet, make_mesh_network
+    from repro.noc.patterns import generate
+
+    topology = MeshTopology(rows, cols)
+    src, dst = generate("uniform", topology, packets, seed=seed)
+    probe = {
+        "mesh": f"{rows}x{cols}",
+        "packets": packets,
+        "seed": seed,
+        "engines": {},
+    }
+    cycles_seen = set()
+    for engine in ("reference", "vectorized"):
+        network = make_mesh_network(topology, engine=engine)
+        for i, (s, d) in enumerate(zip(src.tolist(), dst.tolist())):
+            network.schedule(
+                Packet(src=s, dst=d, vertex=i, injected_cycle=0)
+            )
+        start = time.perf_counter()
+        stats = network.run_until_drained()
+        elapsed = time.perf_counter() - start
+        cycles_seen.add(stats.cycles)
+        probe["engines"][engine] = {
+            "cycles": stats.cycles,
+            "seconds": elapsed,
+            "cycles_per_second": stats.cycles / elapsed if elapsed else 0.0,
+        }
+    probe["cycles_agree"] = len(cycles_seen) == 1
+    ref = probe["engines"]["reference"]["cycles_per_second"]
+    vec = probe["engines"]["vectorized"]["cycles_per_second"]
+    probe["speedup"] = vec / ref if ref else 0.0
+    return probe
+
+
 def cmd_bench(args: argparse.Namespace, out) -> int:
     """Cached parallel sweep plus per-phase profiling of both models.
 
@@ -409,6 +454,7 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             "spd_reduces": cycle_result.stats.spd_reduces,
             "updates_coalesced": cycle_result.stats.updates_coalesced,
         },
+        "noc_engine_probe": _probe_noc_engines(),
     }
 
     text = json.dumps(summary, indent=2)
@@ -445,6 +491,16 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
                 f"{entry['total_seconds'] * 1e3:>10.2f} ms",
                 file=out,
             )
+    probe = summary["noc_engine_probe"]
+    print(
+        f"\nnoc engines ({probe['mesh']}, {probe['packets']} packets): "
+        f"reference "
+        f"{probe['engines']['reference']['cycles_per_second']:,.0f} cyc/s, "
+        f"vectorized "
+        f"{probe['engines']['vectorized']['cycles_per_second']:,.0f} cyc/s "
+        f"({probe['speedup']:.1f}x)",
+        file=out,
+    )
     print(f"\nwall time: {summary['wall_seconds']:.2f} s", file=out)
     return 0
 

@@ -96,6 +96,11 @@ class ScalaGraphConfig:
             dispatch line (paper default 16; 1 = baseline scheduler).
         inter_phase_pipelining: overlap Apply with the next Scatter for
             monotonic algorithms (Section IV-D).
+        noc_engine: cycle-level mesh simulator implementation —
+            'reference' (one Router object per node, the auditable
+            golden model), 'vectorized' (struct-of-arrays NumPy engine,
+            behaviourally identical), or 'auto' (vectorized at or above
+            repro.noc.fastmesh.AUTO_VECTORIZE_MIN_NODES nodes).
         hbm: off-chip memory parameters.
         spd: scratchpad parameters.
         edge_bytes: stored bytes per edge (4, Section I).
@@ -111,6 +116,7 @@ class ScalaGraphConfig:
     aggregation_registers: int = 16
     degree_aware_window: int = 16
     inter_phase_pipelining: bool = True
+    noc_engine: str = "auto"
     hbm: HBMConfig = field(default_factory=HBMConfig)
     spd: ScratchpadConfig = field(default_factory=ScratchpadConfig)
     edge_bytes: int = 4
@@ -126,6 +132,11 @@ class ScalaGraphConfig:
             raise ConfigurationError(
                 f"unknown mapping {self.mapping!r} "
                 "(rom/som/dom/rom-torus)"
+            )
+        if self.noc_engine.lower() not in ("auto", "reference", "vectorized"):
+            raise ConfigurationError(
+                f"unknown noc_engine {self.noc_engine!r} "
+                "(auto/reference/vectorized)"
             )
         if self.aggregation_registers < 0:
             raise ConfigurationError("aggregation_registers must be >= 0")

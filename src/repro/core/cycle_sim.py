@@ -13,13 +13,16 @@ slice retires one Reduce per cycle.
 It exists to validate the analytic timing model: tests check that on
 small graphs the two models' Scatter-phase cycle counts agree within a
 small factor, and that the architecture still computes exactly the
-Figure 1 result.  Pure Python, O(cycles x PEs): use graphs of up to a
-few thousand edges.
+Figure 1 result.  The dispatch/aggregation/SPD loops remain pure Python
+(O(cycles x PEs)), but the mesh-NoC step — historically the dominant
+cost — is delegated to the engine selected by
+:attr:`~repro.core.config.ScalaGraphConfig.noc_engine` (vectorised
+struct-of-arrays at 16x16 and beyond; see :mod:`repro.noc.fastmesh`),
+and fully idle cycles fast-forward to the mesh's next scheduled event.
 """
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -35,7 +38,7 @@ from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.mapping import make_mapping
 from repro.noc.aggregation import AggregationPipeline
-from repro.noc.mesh import MeshNetwork
+from repro.noc.fastmesh import make_mesh_network
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
 
@@ -331,11 +334,15 @@ class CycleAccurateScalaGraph:
             self.sanitizer.begin_epoch(
                 f"scatter[{len(stats.scatter_cycles)}]"
             )
-        network = MeshNetwork(
+        network = make_mesh_network(
             self.topology,
             buffer_depth=self.noc_buffer_depth,
             sanitizer=self.sanitizer,
+            engine=cfg.noc_engine,
         )
+        # One reusable timer object: entered every loop iteration, so it
+        # must not allocate per cycle (see Profiler.block_timer).
+        noc_timer = (prof or NULL_PROFILER).block_timer("cycle_sim.noc_step")
 
         def pipeline_for(pe: int) -> Optional[AggregationPipeline]:
             if registers <= 0:
@@ -416,17 +423,11 @@ class CycleAccurateScalaGraph:
 
             # 3. NoC: one router cycle; deliveries feed the SPD FIFOs.
             before = len(network.delivered)
-            if prof is not None:
-                t0 = time.perf_counter()
-                network.step()
-                prof.add_time("cycle_sim.noc_step", time.perf_counter() - t0)
-            else:
+            with noc_timer:
                 network.step()
             for packet in network.delivered[before:]:
                 spd_fifos[packet.dst].append((packet.vertex, packet.value))
-            if len(network.delivered) != before or any(
-                r.occupancy() for r in network.routers
-            ):
+            if len(network.delivered) != before or network.total_occupancy():
                 progressed = True
 
             # 4. SPD: one Reduce per slice per cycle.
@@ -450,9 +451,19 @@ class CycleAccurateScalaGraph:
                 and not any(out_fifos)
                 and not any(pipelines[p].occupancy() for p in pipelines)
                 and not any(spd_fifos)
-                and not any(r.occupancy() for r in network.routers)
+                and not network.total_occupancy()
+                and not network.in_flight_packets()
             ):
                 break
+
+            # Idle-cycle fast-forward: nothing moved this cycle and the
+            # mesh is quiescent, so jump straight to its next scheduled
+            # event (an in-flight landing) instead of spinning.  The
+            # jump is stats-neutral; idle cycles only tick counters.
+            if not progressed:
+                target = network.next_event_cycle()
+                if target is not None and target > network.cycle:
+                    cycle += network.fast_forward(target)
 
         stats.updates_processed += int(src.size)
         stats.noc_hops += network.stats.total_hops
@@ -467,7 +478,8 @@ class CycleAccurateScalaGraph:
                 + sum(len(f) for f in out_fifos)
                 + sum(len(f) for f in spd_fifos)
                 + sum(p.occupancy() for p in pipelines.values())
-                + sum(r.occupancy() for r in network.routers)
+                + network.total_occupancy()
+                + network.in_flight_packets()
             )
             self.sanitizer.check_conservation(
                 injected=int(src.size),

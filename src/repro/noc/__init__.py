@@ -3,8 +3,11 @@
 ScalaGraph replaces the centralised crossbar of prior accelerators with a
 2D-mesh NoC (Section III-A).  This subpackage provides:
 
-* cycle-level simulators for the mesh (:mod:`repro.noc.mesh`) and the VOQ
-  crossbar (:mod:`repro.noc.crossbar`),
+* cycle-level simulators for the mesh — the auditable reference
+  (:mod:`repro.noc.mesh`) and the vectorised struct-of-arrays engine
+  (:mod:`repro.noc.fastmesh`), equivalence-gated against each other and
+  selected via :func:`~repro.noc.fastmesh.make_mesh_network` — and the
+  VOQ crossbar (:mod:`repro.noc.crossbar`),
 * the Benes multistage network (:mod:`repro.noc.benes`) used in the
   Figure 8 frequency comparison,
 * the four-stage aggregation pipeline of Figure 11
@@ -16,6 +19,12 @@ ScalaGraph replaces the centralised crossbar of prior accelerators with a
 from repro.noc.topology import MeshTopology, manhattan_distance
 from repro.noc.packet import Packet
 from repro.noc.mesh import MeshNetwork, MeshStats
+from repro.noc.fastmesh import (
+    AUTO_VECTORIZE_MIN_NODES,
+    FastMeshNetwork,
+    make_mesh_network,
+    resolve_engine,
+)
 from repro.noc.crossbar import CrossbarSwitch, CrossbarStats
 from repro.noc.benes import BenesNetwork
 from repro.noc.aggregation import (
@@ -34,6 +43,10 @@ __all__ = [
     "Packet",
     "MeshNetwork",
     "MeshStats",
+    "AUTO_VECTORIZE_MIN_NODES",
+    "FastMeshNetwork",
+    "make_mesh_network",
+    "resolve_engine",
     "CrossbarSwitch",
     "CrossbarStats",
     "BenesNetwork",

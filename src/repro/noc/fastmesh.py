@@ -1,0 +1,638 @@
+"""Vectorised struct-of-arrays mesh NoC engine.
+
+:class:`~repro.noc.mesh.MeshNetwork` is the *reference* simulator: one
+:class:`~repro.noc.router.Router` object per node, advanced with Python
+loops every cycle.  That is ideal for auditing but caps Figure 6-style
+routing-conflict studies and analytic-model cross-checks at tiny meshes.
+This module provides :class:`FastMeshNetwork`, a drop-in engine that
+keeps **all** router state in a handful of NumPy buffers —
+
+* ``(nodes, 5-ports, depth)`` FIFO ring buffers of packet indices,
+* ``(nodes, 5)`` head/occupancy/round-robin/link-busy matrices,
+* flat per-packet ``dst``/``flits``/``injected_cycle`` arrays —
+
+and advances a whole cycle with batched array operations: XY route
+computation, switch allocation with the reference's deterministic
+round-robin priority, credit backpressure, and link traversal.
+
+**Equivalence contract.**  The vectorised engine is packet-for-packet
+and cycle-for-cycle identical to the reference simulator: identical
+:class:`~repro.noc.mesh.MeshStats` (cycles, injected, delivered, hops,
+latency, peak occupancy, stalled moves) and identical delivery order,
+for any workload — including multi-flit packets, deferred injections,
+and single-entry buffers.  ``tests/test_fastmesh.py`` enforces this
+differentially across mesh sizes, traffic patterns, and the full
+cycle-accurate simulator; treat any divergence as a bug in this module,
+never as acceptable drift.
+
+Both engines also support an *idle-cycle fast-forward*: when every FIFO
+is empty and no link is busy, :meth:`run_until_drained` jumps the cycle
+counter to the next scheduled event (pending injection or in-flight
+landing) instead of spinning one cycle at a time.  The jump is
+stats-neutral — idle cycles change nothing but the counter — so
+fast-forwarded and stepped runs report identical ``MeshStats``.
+
+Engine selection is wired through
+:attr:`repro.core.config.ScalaGraphConfig.noc_engine` and the
+:func:`make_mesh_network` factory; ``"auto"`` picks the vectorised
+engine for meshes of :data:`AUTO_VECTORIZE_MIN_NODES` nodes or more.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.noc.mesh import MeshNetwork, MeshStats
+from repro.noc.packet import Packet
+from repro.noc.router import (
+    EAST,
+    LOCAL,
+    NORTH,
+    NUM_PORTS,
+    PORT_NAMES,
+    SOUTH,
+    WEST,
+)
+from repro.noc.topology import MeshTopology
+
+if TYPE_CHECKING:  # import-free at runtime: the hook is duck-typed
+    from repro.analysis.sanitizer import SimSanitizer
+
+__all__ = [
+    "AUTO_VECTORIZE_MIN_NODES",
+    "FastMeshNetwork",
+    "MeshEngine",
+    "make_mesh_network",
+    "resolve_engine",
+]
+
+#: ``noc_engine="auto"`` selects the vectorised engine for meshes with at
+#: least this many nodes.  Below it the reference simulator's per-object
+#: Python loops are cheap enough that NumPy dispatch overhead dominates.
+AUTO_VECTORIZE_MIN_NODES = 64
+
+#: Arbitration key assigned to absent requests; must exceed every real
+#: round-robin distance (0..NUM_PORTS-1).
+_NO_REQUEST = NUM_PORTS + 1
+
+#: Either cycle-level mesh engine (they are behaviourally identical).
+MeshEngine = Union[MeshNetwork, "FastMeshNetwork"]
+
+#: Input port seen by the downstream router of each output port
+#: (mirrors ``mesh._LINK_OF_OUTPUT``; LOCAL has no link).
+_DOWN_IN = np.array([-1, SOUTH, NORTH, EAST, WEST], dtype=np.int64)
+
+
+class FastMeshNetwork:
+    """A ``rows x cols`` mesh advanced one cycle at a time, vectorised.
+
+    Public surface mirrors :class:`~repro.noc.mesh.MeshNetwork`:
+    :meth:`schedule` / :meth:`inject` packets, :meth:`step` or
+    :meth:`run_until_drained`, read :attr:`delivered` and :attr:`stats`.
+
+    Packets are registered once and referenced by integer index inside
+    the FIFO arrays; the :class:`~repro.noc.packet.Packet` objects
+    themselves are only touched at injection and delivery, so the
+    per-cycle work is pure array math.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        buffer_depth: int = 4,
+        sanitizer: Optional["SimSanitizer"] = None,
+    ) -> None:
+        if buffer_depth <= 0:
+            raise ConfigurationError("buffer_depth must be positive")
+        self.topology = topology
+        self.buffer_depth = buffer_depth
+        #: Optional runtime invariant checker (see
+        #: :mod:`repro.analysis.sanitizer`); None = zero overhead.
+        self.sanitizer = sanitizer
+        self.cycle = 0
+        self.delivered: List[Packet] = []
+        self.stats = MeshStats()
+
+        n = topology.num_nodes
+        depth = buffer_depth
+        # --- struct-of-arrays router state -----------------------------
+        #: FIFO ring buffers of packet indices, (node, port, slot).
+        self._buf = np.zeros((n, NUM_PORTS, depth), dtype=np.int64)
+        #: Ring-buffer head slot per (node, port).
+        self._head = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        #: Entries queued per (node, port) — the occupancy ledger.
+        self._count = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        #: Round-robin pointer per (node, output port).
+        self._rr = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        #: Remaining busy cycles per (node, output port) — multi-flit
+        #: serialisation (mirrors the reference's ``_link_busy`` dict).
+        self._link_busy = np.zeros((n, NUM_PORTS), dtype=np.int64)
+
+        # --- packet registry -------------------------------------------
+        self._pkts: List[Packet] = []
+        cap = 1024
+        self._pkt_dst = np.zeros(cap, dtype=np.int64)
+        self._pkt_flits = np.ones(cap, dtype=np.int64)
+        self._pkt_injected = np.zeros(cap, dtype=np.int64)
+
+        # --- injection / link-traversal bookkeeping --------------------
+        # Per source node: (future-injection heap keyed (when, seq),
+        # ready deque of (seq, pidx, when, merged_cycle)).  Splitting
+        # ready packets out of the heap avoids the reference's
+        # pop-and-repush churn for backpressured injections while
+        # reproducing its (when, seq) ordering exactly.
+        self._pending: Dict[
+            int, Tuple[List[List[int]], Deque[Tuple[int, int, int, int]]]
+        ] = {}
+        self._seq = 0
+        #: Packets in flight on a link: (arrive_cycle, node, in_port, pidx).
+        self._in_flight: List[Tuple[int, int, int, int]] = []
+
+        # --- precomputed geometry --------------------------------------
+        node = np.arange(n, dtype=np.int64)
+        cols = topology.cols
+        self._node_row = node // cols
+        self._node_col = node % cols
+        down = np.full((n, NUM_PORTS), -1, dtype=np.int64)
+        down[:, NORTH] = node - cols
+        down[:, SOUTH] = node + cols
+        down[:, WEST] = node - 1
+        down[:, EAST] = node + 1
+        self._down_node = down
+        # Broadcast helpers for the (node, out, in) arbitration tensors.
+        self._out_ids = np.arange(NUM_PORTS, dtype=np.int64).reshape(
+            1, NUM_PORTS, 1
+        )
+        self._in_ids = np.arange(NUM_PORTS, dtype=np.int64).reshape(
+            1, 1, NUM_PORTS
+        )
+        self._port_row = np.arange(NUM_PORTS, dtype=np.int64).reshape(
+            1, NUM_PORTS
+        )
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def schedule(self, packet: Packet, cycle: Optional[int] = None) -> None:
+        """Queue a packet for injection at ``cycle`` (default: its
+        ``injected_cycle``).  Injection is retried every cycle until the
+        source router's local buffer has space."""
+        when = packet.injected_cycle if cycle is None else cycle
+        self._check_node(packet.src)
+        self._check_node(packet.dst)
+        pidx = self._register(packet)
+        entry = self._pending.get(packet.src)
+        if entry is None:
+            entry = ([], deque())
+            self._pending[packet.src] = entry
+        heapq.heappush(entry[0], [when, self._seq, pidx])
+        self._seq += 1
+
+    def inject(self, packet: Packet) -> bool:
+        """Immediately place a packet into its source router's local
+        input buffer.  Returns False when the buffer is full."""
+        self._check_node(packet.src)
+        self._check_node(packet.dst)
+        src = packet.src
+        if self._count[src, LOCAL] >= self.buffer_depth:
+            return False
+        packet.injected_cycle = self.cycle
+        pidx = self._register(packet)
+        slot = (self._head[src, LOCAL] + self._count[src, LOCAL]) % (
+            self.buffer_depth
+        )
+        self._buf[src, LOCAL, slot] = pidx
+        self._count[src, LOCAL] += 1
+        self._pkt_injected[pidx] = self.cycle
+        self.stats.injected += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the network by one cycle (same three phases as the
+        reference: injection, landing + link bookkeeping, then one
+        batched arbitrate/reserve/commit pass over every router)."""
+        if self._pending:
+            self._inject_pending()
+        if self._in_flight:
+            self._land_in_flight()
+        busy = self._link_busy
+        np.subtract(busy, 1, out=busy)
+        np.maximum(busy, 0, out=busy)
+
+        count = self._count
+        active = np.flatnonzero(count.sum(axis=1))
+        if active.size:
+            self._arbitrate_and_move(active)
+
+        occupancy = int(count.sum())
+        if occupancy > self.stats.max_occupancy:
+            self.stats.max_occupancy = occupancy
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        if self.sanitizer is not None:
+            self._run_sanitizer(occupancy)
+
+    def _arbitrate_and_move(self, active: np.ndarray) -> None:
+        """One switch-allocation pass over the ``active`` node subset.
+
+        Reproduces the reference pipeline exactly: per-output round-robin
+        grants from head-of-line XY requests, downstream space
+        reservation against *pre-commit* occupancy, then simultaneous
+        commit of every accepted move.
+        """
+        depth = self.buffer_depth
+        count = self._count
+        occ = count[active] > 0  # (a, 5) ports with a head-of-line packet
+        heads = self._buf[active[:, None], self._port_row, self._head[active]]
+        dst = self._pkt_dst[heads]
+        dst_row, dst_col = np.divmod(dst, self.topology.cols)
+        row = self._node_row[active][:, None]
+        col = self._node_col[active][:, None]
+        # Dimension-order routing for every head packet at once.
+        out = np.where(
+            col < dst_col,
+            EAST,
+            np.where(
+                col > dst_col,
+                WEST,
+                np.where(
+                    row < dst_row, SOUTH, np.where(row > dst_row, NORTH, LOCAL)
+                ),
+            ),
+        )
+        out = np.where(occ, out, -1)
+
+        # Switch allocation: for each (node, out port), the contending
+        # input port closest at-or-after the round-robin pointer wins.
+        match = out[:, None, :] == self._out_ids  # (a, out, in)
+        key = (self._in_ids - self._rr[active][:, :, None]) % NUM_PORTS
+        key = np.where(match, key, _NO_REQUEST)
+        winner = key.argmin(axis=2)  # (a, out)
+        granted = match.any(axis=2) & (self._link_busy[active] == 0)
+
+        # Split local ejections from link traversals.
+        local_nodes = active[granted[:, LOCAL]]
+        local_in = winner[granted[:, LOCAL], LOCAL]
+        granted[:, LOCAL] = False
+        gi, go = np.nonzero(granted)
+        gnode = active[gi]
+        down_node = self._down_node[gnode, go]
+        down_in = _DOWN_IN[go]
+        # Credit backpressure: reserve downstream space now (pre-commit
+        # occupancy); a grant without space is a stalled move.
+        space = count[down_node, down_in] < depth
+        stalled = int(gi.size - np.count_nonzero(space))
+        if stalled:
+            self.stats.stalled_moves += stalled
+        gnode, go = gnode[space], go[space]
+        gin = winner[gi[space], go]
+        down_node, down_in = down_node[space], down_in[space]
+
+        # Commit: dequeue every granted head and rotate the pointers.
+        # (node, in) pairs are unique — each input port requests exactly
+        # one output — so the fancy-indexed updates cannot collide.
+        num_local = local_nodes.size
+        pop_node = np.concatenate([local_nodes, gnode])
+        pop_in = np.concatenate([local_in, gin])
+        pop_out = np.concatenate(
+            [np.full(num_local, LOCAL, dtype=np.int64), go]
+        )
+        pop_head = self._head[pop_node, pop_in]
+        pidx = self._buf[pop_node, pop_in, pop_head]
+        self._head[pop_node, pop_in] = (pop_head + 1) % depth
+        count[pop_node, pop_in] -= 1
+        self._rr[pop_node, pop_out] = (pop_in + 1) % NUM_PORTS
+        serial = np.maximum(self._pkt_flits[pidx], 1) - 1
+
+        if num_local:
+            self._deliver(
+                local_nodes, pidx[:num_local], serial[:num_local]
+            )
+        if gnode.size:
+            self._traverse(
+                gnode,
+                go,
+                down_node,
+                down_in,
+                pidx[num_local:],
+                serial[num_local:],
+            )
+
+    def _deliver(
+        self, nodes: np.ndarray, pidx: np.ndarray, serial: np.ndarray
+    ) -> None:
+        """Eject packets at their destination (ascending node order —
+        the same intra-cycle delivery order the reference produces)."""
+        delivered_cycle = self.cycle + serial
+        self.stats.delivered += nodes.size
+        self.stats.total_latency += int(
+            (delivered_cycle - self._pkt_injected[pidx]).sum()
+        )
+        multi = serial > 0
+        if multi.any():
+            # +1 because the counter ticks at the start of the next
+            # cycle: block exactly `serial` cycles.
+            self._link_busy[nodes[multi], LOCAL] = serial[multi] + 1
+        packets = self._pkts
+        out = self.delivered
+        for i in range(nodes.size):
+            packet = packets[pidx[i]]
+            packet.delivered_cycle = int(delivered_cycle[i])
+            out.append(packet)
+
+    def _traverse(
+        self,
+        nodes: np.ndarray,
+        outs: np.ndarray,
+        down_node: np.ndarray,
+        down_in: np.ndarray,
+        pidx: np.ndarray,
+        serial: np.ndarray,
+    ) -> None:
+        """Move packets across links: single-flit packets land in the
+        downstream FIFO this cycle; wider ones occupy the link and land
+        once fully serialised (store-and-forward)."""
+        depth = self.buffer_depth
+        self.stats.total_hops += nodes.size
+        single = serial == 0
+        arr_node, arr_in, arr_pidx = (
+            down_node[single],
+            down_in[single],
+            pidx[single],
+        )
+        if arr_node.size:
+            slot = (
+                self._head[arr_node, arr_in] + self._count[arr_node, arr_in]
+            ) % depth
+            self._buf[arr_node, arr_in, slot] = arr_pidx
+            self._count[arr_node, arr_in] += 1
+        if not single.all():
+            for k in np.flatnonzero(~single):
+                self._link_busy[nodes[k], outs[k]] = serial[k] + 1
+                self._in_flight.append(
+                    (
+                        self.cycle + int(serial[k]),
+                        int(down_node[k]),
+                        int(down_in[k]),
+                        int(pidx[k]),
+                    )
+                )
+
+    def run_until_drained(
+        self, max_cycles: int = 1_000_000, fast_forward: bool = True
+    ) -> MeshStats:
+        """Step until every scheduled packet has been delivered.
+
+        With ``fast_forward`` (default), idle gaps — no FIFO occupancy,
+        no busy link — are skipped by jumping straight to the next
+        pending-injection or in-flight-landing cycle; the resulting
+        stats are identical to stepping through the gap.
+        """
+        while True:
+            occupancy = self.total_occupancy()
+            if not (self._pending or self._in_flight or occupancy):
+                break
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"mesh did not drain within {max_cycles} cycles"
+                )
+            if fast_forward and not occupancy:
+                target = self.next_event_cycle()
+                if target is not None and target > self.cycle:
+                    self.fast_forward(min(target, max_cycles))
+            self.step()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Engine-agnostic inspection (shared with MeshNetwork)
+    # ------------------------------------------------------------------
+    def total_occupancy(self) -> int:
+        """Total packets buffered in router FIFOs (excludes in-flight
+        multi-flit packets; see :meth:`in_flight_packets`)."""
+        return int(self._count.sum())
+
+    def in_flight_packets(self) -> int:
+        """Packets currently serialising across a link."""
+        return len(self._in_flight)
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Cycle of the next scheduled event while the mesh is idle.
+
+        Returns None unless the network is *quiescent* — empty FIFOs,
+        no busy links — with work still scheduled (pending injections
+        or in-flight landings).  Jumping the cycle counter to the
+        returned value is then observationally identical to stepping.
+        """
+        if self.total_occupancy() or self._link_busy.any():
+            return None
+        events = [arrive for arrive, _n, _p, _i in self._in_flight]
+        for future, ready in self._pending.values():
+            if ready:
+                return None  # a past-due packet is retrying: not idle
+            if future:
+                events.append(future[0][0])
+        return min(events) if events else None
+
+    def fast_forward(self, target: int) -> int:
+        """Jump the idle network's cycle counter to ``target``; returns
+        the number of cycles skipped.  Callers must only pass targets at
+        or before :meth:`next_event_cycle` (the jump assumes nothing can
+        move in between)."""
+        skipped = target - self.cycle
+        if skipped <= 0:
+            return 0
+        self.cycle = target
+        self.stats.cycles = self.cycle
+        return skipped
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _register(self, packet: Packet) -> int:
+        pidx = len(self._pkts)
+        self._pkts.append(packet)
+        if pidx >= self._pkt_dst.size:
+            grow = self._pkt_dst.size * 2
+            self._pkt_dst = np.resize(self._pkt_dst, grow)
+            self._pkt_flits = np.resize(self._pkt_flits, grow)
+            self._pkt_injected = np.resize(self._pkt_injected, grow)
+        self._pkt_dst[pidx] = packet.dst
+        self._pkt_flits[pidx] = packet.flits
+        self._pkt_injected[pidx] = packet.injected_cycle
+        return pidx
+
+    def _inject_pending(self) -> None:
+        """Drain due injections into local buffers, in (when, seq) order
+        per node, deferring what does not fit.
+
+        Deferred packets wait in the ready deque instead of being
+        re-pushed into the heap every cycle (the reference's behaviour);
+        the merge below reproduces the reference's ordering exactly,
+        because a deferred packet's effective injection key is
+        ``(current_cycle, seq)``.
+        """
+        cycle = self.cycle
+        depth = self.buffer_depth
+        # One vectorised read of the local-port state, then plain-int
+        # arithmetic inside the loop; the (unique-node) writes are
+        # committed with a single fancy-indexed scatter at the end.
+        local_count = self._count[:, LOCAL].tolist()
+        local_head = self._head[:, LOCAL].tolist()
+        pkts = self._pkts
+        slot_node: List[int] = []
+        slot_pos: List[int] = []
+        slot_pidx: List[int] = []
+        slot_when: List[int] = []
+        upd_node: List[int] = []
+        upd_fits: List[int] = []
+        for node in list(self._pending):
+            future, ready = self._pending[node]
+            if future and future[0][0] <= cycle:
+                fresh = []
+                while future and future[0][0] <= cycle:
+                    fresh.append(heapq.heappop(future))
+                if ready:
+                    merged = [
+                        (cycle, seq, pidx, when, merged_at)
+                        for seq, pidx, when, merged_at in ready
+                    ]
+                    merged += [
+                        (when, seq, pidx, when, cycle)
+                        for when, seq, pidx in fresh
+                    ]
+                    merged.sort()
+                    ready.clear()
+                    ready.extend(
+                        (seq, pidx, when, merged_at)
+                        for _eff, seq, pidx, when, merged_at in merged
+                    )
+                else:
+                    ready.extend(
+                        (seq, pidx, when, cycle)
+                        for when, seq, pidx in fresh
+                    )
+            if ready:
+                space = depth - local_count[node]
+                fits = min(space, len(ready)) if space > 0 else 0
+                if fits:
+                    base = local_head[node] + local_count[node]
+                    for j in range(fits):
+                        _seq, pidx, when, merged_at = ready.popleft()
+                        # A packet deferred by backpressure injects "now";
+                        # one arriving on schedule keeps its own cycle.
+                        injected = when if merged_at == cycle else cycle
+                        slot_node.append(node)
+                        slot_pos.append((base + j) % depth)
+                        slot_pidx.append(pidx)
+                        slot_when.append(injected)
+                        pkts[pidx].injected_cycle = injected
+                    upd_node.append(node)
+                    upd_fits.append(fits)
+            if not ready and not future:
+                del self._pending[node]
+        if slot_node:
+            self._buf[slot_node, LOCAL, slot_pos] = slot_pidx
+            self._pkt_injected[slot_pidx] = slot_when
+            self._count[upd_node, LOCAL] += np.asarray(
+                upd_fits, dtype=np.int64
+            )
+            self.stats.injected += len(slot_node)
+
+    def _land_in_flight(self) -> None:
+        """Deposit fully-transferred multi-flit packets downstream; a
+        landing blocked by a full buffer retries next cycle."""
+        depth = self.buffer_depth
+        remaining = []
+        for arrive, node, in_port, pidx in self._in_flight:
+            if arrive > self.cycle:
+                remaining.append((arrive, node, in_port, pidx))
+                continue
+            if self._count[node, in_port] < depth:
+                slot = (
+                    self._head[node, in_port] + self._count[node, in_port]
+                ) % depth
+                self._buf[node, in_port, slot] = pidx
+                self._count[node, in_port] += 1
+            else:
+                self.stats.stalled_moves += 1
+                remaining.append((self.cycle + 1, node, in_port, pidx))
+        self._in_flight = remaining
+
+    def _run_sanitizer(self, occupancy: int) -> None:
+        """End-of-cycle invariant audit over the array state (opt-in)."""
+        san = self.sanitizer
+        assert san is not None
+        san.check_cycle_monotonic(self.cycle)
+        san.check_fifo_depth_array(
+            self._count,
+            self.buffer_depth,
+            where="fastmesh router",
+            cycle=self.cycle,
+            port_names=PORT_NAMES,
+        )
+        san.check_conservation(
+            injected=self.stats.injected,
+            delivered=self.stats.delivered,
+            coalesced=0,  # the mesh moves packets; it never merges them
+            in_flight=occupancy + len(self._in_flight),
+            where="fastmesh",
+            cycle=self.cycle,
+        )
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.topology.num_nodes:
+            raise ConfigurationError(
+                f"node {node} outside mesh with "
+                f"{self.topology.num_nodes} nodes"
+            )
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+def resolve_engine(engine: str, topology: MeshTopology) -> str:
+    """Resolve an engine name (``auto``/``reference``/``vectorized``)
+    to a concrete one, choosing by mesh size for ``auto``."""
+    name = engine.lower()
+    if name == "auto":
+        return (
+            "vectorized"
+            if topology.num_nodes >= AUTO_VECTORIZE_MIN_NODES
+            else "reference"
+        )
+    if name in ("reference", "vectorized"):
+        return name
+    raise ConfigurationError(
+        f"unknown NoC engine {engine!r} (auto/reference/vectorized)"
+    )
+
+
+def make_mesh_network(
+    topology: MeshTopology,
+    buffer_depth: int = 4,
+    sanitizer: Optional["SimSanitizer"] = None,
+    engine: str = "auto",
+) -> MeshEngine:
+    """Build a cycle-level mesh simulator.
+
+    ``engine`` selects the implementation: ``"reference"`` (one Router
+    object per node — the auditable golden model), ``"vectorized"``
+    (:class:`FastMeshNetwork`), or ``"auto"`` (vectorised at or above
+    :data:`AUTO_VECTORIZE_MIN_NODES` nodes).  Both produce identical
+    packets, cycles, and stats.
+    """
+    if resolve_engine(engine, topology) == "vectorized":
+        return FastMeshNetwork(
+            topology, buffer_depth=buffer_depth, sanitizer=sanitizer
+        )
+    return MeshNetwork(
+        topology, buffer_depth=buffer_depth, sanitizer=sanitizer
+    )

@@ -6,6 +6,12 @@ credit-style backpressure.  It is intentionally unoptimised Python — it
 exists to validate the vectorised analytic NoC model used by the at-scale
 accelerator simulations (tests cross-check the two on small meshes) and to
 measure routing-conflict behaviour directly (Figure 6, Section II-C).
+
+For at-scale cycle-level runs use :mod:`repro.noc.fastmesh`: a
+struct-of-arrays NumPy engine that is packet-for-packet and
+cycle-for-cycle identical to this one (differential tests enforce it)
+but advances whole cycles with batched array operations.  This class
+remains the golden model the fast engine is gated against.
 """
 
 from __future__ import annotations
@@ -242,19 +248,69 @@ class MeshNetwork:
             cycle=self.cycle,
         )
 
-    def run_until_drained(self, max_cycles: int = 1_000_000) -> MeshStats:
-        """Step until every scheduled packet has been delivered."""
-        while (
-            self._pending
-            or self._in_flight
-            or any(r.occupancy() for r in self.routers)
-        ):
+    def run_until_drained(
+        self, max_cycles: int = 1_000_000, fast_forward: bool = True
+    ) -> MeshStats:
+        """Step until every scheduled packet has been delivered.
+
+        With ``fast_forward`` (default), idle gaps — no FIFO occupancy,
+        no busy link — are skipped by jumping straight to the next
+        pending-injection or in-flight-landing cycle; the resulting
+        stats are identical to stepping through the gap.
+        """
+        while True:
+            occupancy = self.total_occupancy()
+            if not (self._pending or self._in_flight or occupancy):
+                break
             if self.cycle >= max_cycles:
                 raise SimulationError(
                     f"mesh did not drain within {max_cycles} cycles"
                 )
+            if fast_forward and not occupancy:
+                target = self.next_event_cycle()
+                if target is not None and target > self.cycle:
+                    self.fast_forward(min(target, max_cycles))
             self.step()
         return self.stats
+
+    # ------------------------------------------------------------------
+    # Engine-agnostic inspection (shared with FastMeshNetwork)
+    # ------------------------------------------------------------------
+    def total_occupancy(self) -> int:
+        """Total packets buffered in router FIFOs (excludes in-flight
+        multi-flit packets; see :meth:`in_flight_packets`)."""
+        return sum(r.occupancy() for r in self.routers)
+
+    def in_flight_packets(self) -> int:
+        """Packets currently serialising across a link."""
+        return len(self._in_flight)
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Cycle of the next scheduled event while the mesh is idle.
+
+        Returns None unless the network is *quiescent* — empty FIFOs,
+        no busy links — with work still scheduled (pending injections
+        or in-flight landings).  Jumping the cycle counter to the
+        returned value is then observationally identical to stepping.
+        """
+        if self.total_occupancy() or self._link_busy:
+            return None
+        events = [arrive for arrive, _n, _p, _pkt in self._in_flight]
+        if self._pending:
+            events.append(self._pending[0][0])
+        return min(events) if events else None
+
+    def fast_forward(self, target: int) -> int:
+        """Jump the idle network's cycle counter to ``target``; returns
+        the number of cycles skipped.  Callers must only pass targets at
+        or before :meth:`next_event_cycle` (the jump assumes nothing can
+        move in between)."""
+        skipped = target - self.cycle
+        if skipped <= 0:
+            return 0
+        self.cycle = target
+        self.stats.cycles = self.cycle
+        return skipped
 
     # ------------------------------------------------------------------
     # Internals

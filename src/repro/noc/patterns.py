@@ -140,17 +140,22 @@ def saturation_throughput(
     packets: int = 400,
     seed: int = 0,
     buffer_depth: int = 4,
+    engine: str = "auto",
 ) -> float:
     """Accepted throughput (packets/node/cycle) under saturating load.
 
     Injects all packets at cycle 0 and measures drain rate — an upper
-    bound on sustainable throughput for the pattern.
+    bound on sustainable throughput for the pattern.  ``engine`` picks
+    the mesh simulator (``auto``/``reference``/``vectorized``; both
+    engines report identical stats, so this only affects wall-clock).
     """
-    from repro.noc.mesh import MeshNetwork
+    from repro.noc.fastmesh import make_mesh_network
     from repro.noc.packet import Packet
 
     src, dst = generate(pattern, topology, packets, seed)
-    network = MeshNetwork(topology, buffer_depth=buffer_depth)
+    network = make_mesh_network(
+        topology, buffer_depth=buffer_depth, engine=engine
+    )
     for s, d in zip(src, dst):
         network.schedule(Packet(src=int(s), dst=int(d), injected_cycle=0))
     stats = network.run_until_drained()

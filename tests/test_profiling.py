@@ -50,6 +50,26 @@ class TestProfiler:
             pass
         assert prof.to_dict()["timers"]["boom"]["calls"] == 1
 
+    def test_block_timer_reusable(self):
+        prof = Profiler()
+        timer = prof.block_timer("loop")
+        for _ in range(3):
+            with timer:
+                pass
+        entry = prof.to_dict()["timers"]["loop"]
+        assert entry["calls"] == 3
+        assert entry["total_seconds"] >= 0.0
+
+    def test_block_timer_propagates_exceptions(self):
+        prof = Profiler()
+        timer = prof.block_timer("boom")
+        try:
+            with timer:
+                raise ValueError()
+        except ValueError:
+            pass
+        assert prof.to_dict()["timers"]["boom"]["calls"] == 1
+
     def test_merge(self):
         a, b = Profiler(), Profiler()
         a.add_time("t", 1.0)
@@ -75,6 +95,8 @@ class TestNullProfiler:
             pass
         prof.add_time("x", 1.0)
         prof.count("y", 5)
+        with prof.block_timer("z"):
+            pass
         assert prof.to_dict() == {"timers": {}, "counters": {}}
         assert not prof.enabled
         assert not NULL_PROFILER.enabled
