@@ -11,6 +11,9 @@ Each rule encodes one property this reproduction depends on:
   accounting bugs before (shared mutable state, swallowed errors).
 * ``SIM401`` — docstring/dataclass drift on frozen config dataclasses,
   whose Attributes sections are the de-facto spec of the timing model.
+* ``SIM501`` — liveness of the parallel experiment runner: collecting a
+  worker result without a timeout turns one crashed worker into a hung
+  sweep.
 
 Adding a rule: write a ``check(ctx: FileContext) -> List[Finding]``
 function here and decorate it with :func:`repro.analysis.simlint.register`;
@@ -571,6 +574,78 @@ def docstring_drift(ctx: FileContext) -> List[Finding]:
                     node,
                     f"{node.name}: Attributes section documents names "
                     f"that are not fields: {', '.join(stale)}",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SIM501: unbounded blocking on worker results
+# ----------------------------------------------------------------------
+
+
+def _imports_concurrency(tree: ast.AST) -> bool:
+    """Whether the module imports concurrent.futures/multiprocessing."""
+    for node in _walk(tree, ast.Import, ast.ImportFrom):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        else:
+            assert isinstance(node, ast.ImportFrom)
+            names = [node.module or ""]
+        for name in names:
+            if name.split(".")[0] in ("concurrent", "multiprocessing"):
+                return True
+    return False
+
+
+@register(
+    "SIM501",
+    Severity.ERROR,
+    "collects worker results without a timeout (future.result()/.get(), "
+    "wait()/as_completed() without timeout=) — hangs forever on a dead "
+    "or stuck worker",
+)
+def unbounded_result_wait(ctx: FileContext) -> List[Finding]:
+    rule = _self_rule("SIM501")
+    if not _imports_concurrency(ctx.tree):
+        return []
+    findings: List[Finding] = []
+    for node in _walk(ctx.tree, ast.Call):
+        assert isinstance(node, ast.Call)
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            continue
+        # future.result() / AsyncResult.get() with no arguments blocks
+        # until the worker responds — which a killed worker never does.
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "result",
+            "get",
+        ):
+            if not node.args and not node.keywords:
+                findings.append(
+                    ctx.finding(
+                        rule,
+                        node,
+                        f".{node.func.attr}() without timeout= blocks "
+                        "forever on a hung or killed worker; pass "
+                        "timeout= and handle the expiry",
+                    )
+                )
+            continue
+        name = _dotted_name(node.func)
+        if name is None:
+            continue
+        last = name.split(".")[-1]
+        # wait(fs)/as_completed(fs): the second positional argument is
+        # the timeout, so fewer than two positionals and no timeout=
+        # keyword means an unbounded wait.
+        if last in ("wait", "as_completed") and len(node.args) < 2:
+            findings.append(
+                ctx.finding(
+                    rule,
+                    node,
+                    f"{last}() without timeout= never returns if a "
+                    "worker dies without resolving its future; pass "
+                    "timeout= and re-check liveness on expiry",
                 )
             )
     return findings

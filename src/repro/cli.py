@@ -27,7 +27,7 @@ from repro.core import (
     ScalaGraphConfig,
 )
 from repro.experiments import format_table
-from repro.experiments.parallel import run_matrix_parallel
+from repro.experiments.parallel import RetryPolicy, run_matrix_parallel
 from repro.experiments.runner import (
     SYSTEM_BUILDERS,
     build_system,
@@ -150,6 +150,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute cached cells and overwrite them",
     )
     bench_p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per sweep cell; an overdue cell is "
+        "cancelled and retried (default: no timeout)",
+    )
+    bench_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries for a crashed or timed-out cell (default: "
+        "%(default)s)",
+    )
+    bench_p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="sweep checkpoint journal; an interrupted sweep re-run "
+        "with the same FILE resumes instead of recomputing",
+    )
+    bench_p.add_argument(
         "--cycle-sim-shift",
         type=int,
         default=-5,
@@ -168,6 +191,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="also write the JSON summary to FILE",
+    )
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="replay a seeded fault schedule on both mesh engines",
+        description="Build a deterministic fault schedule "
+        "(repro.faults), drain the same traffic through the reference "
+        "and vectorized mesh engines twice each, and verify that the "
+        "fault replay is bit-identical across repetitions and engines. "
+        "Exits 1 on any divergence.",
+    )
+    faults_p.add_argument("--rows", type=int, default=8)
+    faults_p.add_argument("--cols", type=int, default=8)
+    faults_p.add_argument("--packets", type=int, default=512)
+    faults_p.add_argument(
+        "--seed", type=int, default=0, help="fault schedule seed"
+    )
+    faults_p.add_argument("--link-outages", type=int, default=3)
+    faults_p.add_argument("--fifo-stalls", type=int, default=3)
+    faults_p.add_argument(
+        "--horizon",
+        type=int,
+        default=32,
+        help="cycle window fault start times are drawn from; keep it "
+        "within the drain time so outages overlap live traffic "
+        "(default: %(default)s)",
+    )
+    faults_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the replay summary as JSON",
     )
 
     lint_p = sub.add_parser(
@@ -368,6 +422,124 @@ def _probe_noc_engines(
     return probe
 
 
+def _fault_replay(
+    rows: int,
+    cols: int,
+    packets: int,
+    fault_config,
+    traffic_seed: int = 0,
+) -> dict:
+    """Drain the same traffic through both engines twice each under one
+    seeded fault schedule; report per-engine stats and agreement."""
+    from repro.faults import FaultSchedule
+    from repro.noc import MeshTopology, Packet, make_mesh_network
+    from repro.noc.patterns import generate
+
+    topology = MeshTopology(rows, cols)
+    src, dst = generate("uniform", topology, packets, seed=traffic_seed)
+    schedule = FaultSchedule(topology, fault_config)
+    replay = {
+        "schema": "repro-faults/1",
+        "mesh": f"{rows}x{cols}",
+        "packets": packets,
+        "digest": schedule.digest(),
+        "schedule": schedule.describe(),
+        "engines": {},
+    }
+    fingerprints = {}
+    for engine in ("reference", "vectorized"):
+        runs = []
+        for _ in range(2):
+            faults = FaultSchedule(topology, fault_config)
+            network = make_mesh_network(
+                topology, engine=engine, faults=faults
+            )
+            for i, (s, d) in enumerate(zip(src.tolist(), dst.tolist())):
+                network.schedule(
+                    Packet(src=s, dst=d, vertex=i, injected_cycle=0)
+                )
+            stats = network.run_until_drained()
+            runs.append(
+                {
+                    "digest": faults.digest(),
+                    "cycles": stats.cycles,
+                    "delivered": stats.delivered,
+                    "total_hops": stats.total_hops,
+                    "total_latency": stats.total_latency,
+                    "degraded_cycles": stats.degraded_cycles,
+                    "rerouted_packets": stats.rerouted_packets,
+                }
+            )
+        replay["engines"][engine] = runs[0]
+        replay["engines"][engine]["deterministic"] = runs[0] == runs[1]
+        fingerprints[engine] = runs[0]
+    replay["deterministic"] = all(
+        entry["deterministic"] for entry in replay["engines"].values()
+    )
+    replay["engines_agree"] = (
+        fingerprints["reference"] == fingerprints["vectorized"]
+    )
+    replay["ok"] = replay["deterministic"] and replay["engines_agree"]
+    return replay
+
+
+def _bench_fault_probe() -> dict:
+    """Small standing fault-equivalence probe for ``repro bench``: a
+    seeded schedule on an 8x8 mesh must replay identically on both
+    engines (true fault metrics, not the analytic derate)."""
+    from repro.faults import FaultConfig
+
+    return _fault_replay(
+        rows=8,
+        cols=8,
+        packets=256,
+        fault_config=FaultConfig(
+            seed=0, link_outages=2, fifo_stalls=2, horizon=16
+        ),
+    )
+
+
+def cmd_faults(args: argparse.Namespace, out) -> int:
+    """Fault-replay determinism gate: exit 1 on any divergence."""
+    from repro.faults import FaultConfig
+
+    replay = _fault_replay(
+        args.rows,
+        args.cols,
+        args.packets,
+        FaultConfig(
+            seed=args.seed,
+            link_outages=args.link_outages,
+            fifo_stalls=args.fifo_stalls,
+            horizon=args.horizon,
+        ),
+    )
+    if args.json:
+        print(json.dumps(replay, indent=2), file=out)
+    else:
+        ref = replay["engines"]["reference"]
+        print(
+            f"fault replay on {replay['mesh']} "
+            f"({replay['packets']} packets, "
+            f"schedule digest {replay['digest'][:12]}):",
+            file=out,
+        )
+        print(
+            f"  cycles {ref['cycles']}, delivered {ref['delivered']}, "
+            f"degraded_cycles {ref['degraded_cycles']}, "
+            f"rerouted_packets {ref['rerouted_packets']}",
+            file=out,
+        )
+        print(
+            "  deterministic: "
+            f"{'yes' if replay['deterministic'] else 'NO'}; "
+            "engines agree: "
+            f"{'yes' if replay['engines_agree'] else 'NO'}",
+            file=out,
+        )
+    return 0 if replay["ok"] else 1
+
+
 def cmd_bench(args: argparse.Namespace, out) -> int:
     """Cached parallel sweep plus per-phase profiling of both models.
 
@@ -379,6 +551,9 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
     wall_start = time.perf_counter()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
+    policy = RetryPolicy(
+        cell_timeout=args.cell_timeout, max_retries=args.max_retries
+    )
     matrix = run_matrix_parallel(
         graphs=args.datasets,
         algorithms=args.algorithms,
@@ -388,6 +563,8 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         max_workers=args.workers,
         cache=cache,
         refresh=args.refresh,
+        policy=policy,
+        checkpoint=args.checkpoint,
     )
 
     # Profile one representative workload through each model.  The
@@ -420,6 +597,9 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             "scale_shift": args.scale_shift,
             "max_iterations": args.max_iterations,
             "workers": args.workers,
+            "cell_timeout": args.cell_timeout,
+            "max_retries": args.max_retries,
+            "checkpoint": args.checkpoint,
             "cells": [
                 {
                     "graph": g,
@@ -455,6 +635,7 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             "updates_coalesced": cycle_result.stats.updates_coalesced,
         },
         "noc_engine_probe": _probe_noc_engines(),
+        "fault_probe": _bench_fault_probe(),
     }
 
     text = json.dumps(summary, indent=2)
@@ -499,6 +680,16 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         f"vectorized "
         f"{probe['engines']['vectorized']['cycles_per_second']:,.0f} cyc/s "
         f"({probe['speedup']:.1f}x)",
+        file=out,
+    )
+    fault_probe = summary["fault_probe"]
+    print(
+        f"fault replay ({fault_probe['mesh']}): "
+        f"degraded_cycles "
+        f"{fault_probe['engines']['reference']['degraded_cycles']}, "
+        f"rerouted_packets "
+        f"{fault_probe['engines']['reference']['rerouted_packets']}, "
+        f"engines agree: {'yes' if fault_probe['ok'] else 'NO'}",
         file=out,
     )
     print(f"\nwall time: {summary['wall_seconds']:.2f} s", file=out)
@@ -582,6 +773,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "bench": cmd_bench,
+    "faults": cmd_faults,
     "lint": cmd_lint,
     "datasets": cmd_datasets,
 }

@@ -14,7 +14,7 @@ Scatter for monotonic algorithms on graphs that fit in one partition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +41,9 @@ from repro.mapping import make_mapping
 from repro.mapping.destination_oriented import DestinationOrientedMapping
 from repro.memory.hbm import HBMModel
 from repro.noc.topology import MeshTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultSchedule
 
 
 @dataclass(frozen=True)
@@ -78,6 +81,15 @@ class ScalaGraph:
         profiler: optional wall-clock profiler; when given, per-phase
             host-time timers and counters are accumulated and attached
             to the report's ``profile`` field.
+        faults: optional :class:`~repro.faults.FaultSchedule`.  The
+            analytic model has no per-cycle state to fault, so the
+            schedule degrades its *resource budgets* instead — HBM
+            bandwidth loses the disabled channels and the NoC link
+            bandwidth is scaled by the schedule's link availability
+            (:meth:`~repro.faults.FaultSchedule.apply_to_config`).  The
+            report gains ``degraded_cycles`` (slowdown versus a clean
+            twin run), ``fault_seed``, ``hbm_bandwidth_fraction`` and
+            ``link_availability`` entries in ``extra``.
     """
 
     name = "ScalaGraph"
@@ -87,8 +99,15 @@ class ScalaGraph:
         config: Optional[ScalaGraphConfig] = None,
         enforce_capacity: bool = True,
         profiler: Optional[Profiler] = None,
+        faults: Optional["FaultSchedule"] = None,
     ) -> None:
-        self.config = config or ScalaGraphConfig()
+        self._clean_config = config or ScalaGraphConfig()
+        self.faults = faults
+        self.config = (
+            faults.apply_to_config(self._clean_config)
+            if faults is not None
+            else self._clean_config
+        )
         self.enforce_capacity = enforce_capacity
         self.profiler = profiler
         self.topology = MeshTopology(
@@ -252,6 +271,30 @@ class ScalaGraph:
             cfg.num_pes, cfg.interconnect, cfg.clock_mhz
         ).total_watts
 
+        extra = {
+            "pipelining_used": float(use_pipelining),
+            "aggregation_window": float(window),
+            "scatter_compute_cycles": compute_cycle_total,
+        }
+        if self.faults is not None:
+            # Slowdown attributable to the faults: re-run the (cheap,
+            # analytic) timing model on an identical clean twin and take
+            # the cycle delta.  The twin shares this instance's workload
+            # so the comparison is exact.
+            clean = ScalaGraph(
+                self._clean_config, enforce_capacity=self.enforce_capacity
+            ).run_trace(
+                graph, workload, algorithm=algorithm, monotonic=monotonic
+            )
+            extra["degraded_cycles"] = max(
+                0.0, total_cycles - clean.total_cycles
+            )
+            extra["fault_seed"] = float(self.faults.seed)
+            extra["hbm_bandwidth_fraction"] = (
+                self.faults.hbm_bandwidth_fraction
+            )
+            extra["link_availability"] = self.faults.link_availability
+
         prof.count("analytic.iterations", len(workload))
         prof.count(
             "analytic.scatter_phases", len(workload) * len(partitions)
@@ -278,11 +321,7 @@ class ScalaGraph:
             properties=properties,
             num_partitions=len(partitions),
             power_watts=power,
-            extra={
-                "pipelining_used": float(use_pipelining),
-                "aggregation_window": float(window),
-                "scatter_compute_cycles": compute_cycle_total,
-            },
+            extra=extra,
             profile=(
                 self.profiler.to_dict() if self.profiler is not None else None
             ),

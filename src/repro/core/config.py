@@ -101,6 +101,12 @@ class ScalaGraphConfig:
             golden model), 'vectorized' (struct-of-arrays NumPy engine,
             behaviourally identical), or 'auto' (vectorized at or above
             repro.noc.fastmesh.AUTO_VECTORIZE_MIN_NODES nodes).
+        noc_engine_fallback: when the vectorized engine trips a
+            SanitizerError mid-run, transparently retry the whole run
+            on the reference engine with an EngineFallbackWarning
+            instead of killing the experiment (graceful degradation;
+            set False to let the error propagate, e.g. in engine
+            debugging sessions).
         hbm: off-chip memory parameters.
         spd: scratchpad parameters.
         edge_bytes: stored bytes per edge (4, Section I).
@@ -117,6 +123,7 @@ class ScalaGraphConfig:
     degree_aware_window: int = 16
     inter_phase_pipelining: bool = True
     noc_engine: str = "auto"
+    noc_engine_fallback: bool = True
     hbm: HBMConfig = field(default_factory=HBMConfig)
     spd: ScratchpadConfig = field(default_factory=ScratchpadConfig)
     edge_bytes: int = 4

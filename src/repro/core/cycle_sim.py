@@ -23,6 +23,7 @@ and fully idle cycles fast-forward to the mesh's next scheduled event.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -34,11 +35,17 @@ from repro.algorithms.reference import gather_frontier_edges
 from repro.analysis.sanitizer import SimSanitizer, maybe_sanitizer
 from repro.core.config import ScalaGraphConfig
 from repro.core.profiling import NULL_PROFILER, Profiler
-from repro.errors import SimulationError
+from repro.errors import (
+    ConfigurationError,
+    EngineFallbackWarning,
+    SanitizerError,
+    SimulationError,
+)
+from repro.faults import FaultSchedule
 from repro.graph.csr import CSRGraph
 from repro.mapping import make_mapping
 from repro.noc.aggregation import AggregationPipeline
-from repro.noc.fastmesh import make_mesh_network
+from repro.noc.fastmesh import make_mesh_network, resolve_engine
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
 
@@ -66,6 +73,12 @@ class CycleStats:
     phase_updates: List[int] = field(default_factory=list)
     phase_coalesced: List[int] = field(default_factory=list)
     phase_spd_reduces: List[int] = field(default_factory=list)
+    #: Scatter cycles in which an armed fault schedule degraded progress
+    #: (a mesh fault touched live traffic, or a stalled PE sat on
+    #: pending work).  Zero without faults.
+    degraded_cycles: int = 0
+    #: Committed mesh traversals that detoured around a dead link.
+    rerouted_packets: int = 0
 
 
 @dataclass
@@ -133,6 +146,11 @@ class CycleAccurateScalaGraph:
             runtime invariant checks (update conservation, FIFO depths,
             cycle monotonicity, SPD accounting).  None defers to the
             ``REPRO_SANITIZE`` environment variable.
+        faults: optional :class:`~repro.faults.FaultSchedule` built for
+            this simulator's topology.  Mesh faults and PE stall
+            windows replay from cycle 0 of *every* Scatter phase (each
+            phase builds a fresh mesh), which keeps fault replay
+            deterministic regardless of how many phases a run needs.
     """
 
     def __init__(
@@ -141,6 +159,7 @@ class CycleAccurateScalaGraph:
         noc_buffer_depth: int = 4,
         profiler: Optional[Profiler] = None,
         sanitize: Optional[bool] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.config = config or ScalaGraphConfig(
             num_tiles=1, pe_rows=4, pe_cols=4
@@ -154,6 +173,17 @@ class CycleAccurateScalaGraph:
             rows=self.config.pe_rows, cols=self.config.total_cols
         )
         self.mapping = make_mapping(self.config.mapping, self.topology)
+        if faults is not None and (
+            faults.topology.rows != self.topology.rows
+            or faults.topology.cols != self.topology.cols
+        ):
+            raise ConfigurationError(
+                f"fault schedule was built for a "
+                f"{faults.topology.rows}x{faults.topology.cols} mesh; "
+                f"this simulator is "
+                f"{self.topology.rows}x{self.topology.cols}"
+            )
+        self.faults = faults
 
     # ------------------------------------------------------------------
     # Public API
@@ -164,6 +194,42 @@ class CycleAccurateScalaGraph:
         graph: CSRGraph,
         max_iterations: Optional[int] = None,
         max_cycles_per_phase: int = 2_000_000,
+    ) -> CycleResult:
+        """Simulate ``program`` over ``graph`` cycle by cycle.
+
+        Graceful engine degradation: when the *vectorized* mesh engine
+        raises a :class:`~repro.errors.SanitizerError` mid-run, the run
+        is retried once on the reference engine with an
+        :class:`~repro.errors.EngineFallbackWarning` instead of killing
+        the experiment (a run is a pure function of its inputs, so the
+        retry is exact; an attached profiler accrues both attempts).
+        Disable via ``config.noc_engine_fallback=False``; a reference-
+        engine failure always propagates.
+        """
+        engine = resolve_engine(self.config.noc_engine, self.topology)
+        try:
+            return self._run(
+                program, graph, max_iterations, max_cycles_per_phase, engine
+            )
+        except SanitizerError as exc:
+            if engine == "reference" or not self.config.noc_engine_fallback:
+                raise
+            warnings.warn(EngineFallbackWarning(engine, exc), stacklevel=2)
+            return self._run(
+                program,
+                graph,
+                max_iterations,
+                max_cycles_per_phase,
+                "reference",
+            )
+
+    def _run(
+        self,
+        program: VertexProgram,
+        graph: CSRGraph,
+        max_iterations: Optional[int],
+        max_cycles_per_phase: int,
+        engine: str,
     ) -> CycleResult:
         ctx = ProgramContext(graph=graph)
         program.validate(ctx)
@@ -191,7 +257,7 @@ class CycleAccurateScalaGraph:
             with prof.timer("cycle_sim.scatter"):
                 cycles = self._scatter_phase(
                     program, ctx, graph, active, props, vtemp, touched_mask,
-                    stats, max_cycles_per_phase,
+                    stats, max_cycles_per_phase, engine,
                 )
             stats.scatter_cycles.append(cycles)
 
@@ -273,6 +339,7 @@ class CycleAccurateScalaGraph:
         touched_mask: np.ndarray,
         stats: CycleStats,
         max_cycles: int,
+        engine: Optional[str] = None,
     ) -> int:
         cfg = self.config
         prof = self.profiler
@@ -338,7 +405,8 @@ class CycleAccurateScalaGraph:
             self.topology,
             buffer_depth=self.noc_buffer_depth,
             sanitizer=self.sanitizer,
-            engine=cfg.noc_engine,
+            engine=engine if engine is not None else cfg.noc_engine,
+            faults=self.faults,
         )
         # One reusable timer object: entered every loop iteration, so it
         # must not allocate per cycle (see Profiler.block_timer).
@@ -360,10 +428,16 @@ class CycleAccurateScalaGraph:
                 pipelines[pe] = pipe
             return pipe
 
+        faults = self.faults
         cycle = 0
         edges_remaining = int(src.size)
         while True:
             progressed = False
+            # A stalled PE (fault injection) emits no update and retires
+            # no SPD reduce this cycle; the flag records whether a stall
+            # actually blocked pending work (feeds degraded_cycles).
+            pe_stall_hit = False
+            net_degraded_before = network.stats.degraded_cycles
 
             # 1. Dispatch: one line per row per cycle; each edge's GU
             #    produces its update in the same cycle (pipelined).
@@ -402,6 +476,14 @@ class CycleAccurateScalaGraph:
             #    double-counted by a shadow counter.
             drain_pipelines = all(not d.busy for d in dispatchers)
             for pe in range(self.topology.num_nodes):
+                if faults is not None and faults.pe_stalled(pe, cycle):
+                    if out_fifos[pe] or (
+                        drain_pipelines
+                        and pe in pipelines
+                        and pipelines[pe].occupancy()
+                    ):
+                        pe_stall_hit = True
+                    continue
                 item = None
                 if out_fifos[pe]:
                     item = out_fifos[pe].popleft()
@@ -433,11 +515,20 @@ class CycleAccurateScalaGraph:
             # 4. SPD: one Reduce per slice per cycle.
             for pe in range(self.topology.num_nodes):
                 if spd_fifos[pe]:
+                    if faults is not None and faults.pe_stalled(pe, cycle):
+                        pe_stall_hit = True
+                        continue
                     vertex, value = spd_fifos[pe].popleft()
                     vtemp[vertex] = reduce_ufunc(vtemp[vertex], value)
                     touched_mask[vertex] = True
                     stats.spd_reduces += 1
                     progressed = True
+
+            if faults is not None and (
+                pe_stall_hit
+                or network.stats.degraded_cycles > net_degraded_before
+            ):
+                stats.degraded_cycles += 1
 
             cycle += 1
             if cycle > max_cycles:
@@ -459,14 +550,18 @@ class CycleAccurateScalaGraph:
             # Idle-cycle fast-forward: nothing moved this cycle and the
             # mesh is quiescent, so jump straight to its next scheduled
             # event (an in-flight landing) instead of spinning.  The
-            # jump is stats-neutral; idle cycles only tick counters.
-            if not progressed:
+            # jump is stats-neutral; idle cycles only tick counters.  A
+            # stalled PE holding work is *not* idle — fast-forwarding
+            # would skip the rest of its stall window, so hold the jump
+            # until the window has visibly passed cycle by cycle.
+            if not progressed and not pe_stall_hit:
                 target = network.next_event_cycle()
                 if target is not None and target > network.cycle:
                     cycle += network.fast_forward(target)
 
         stats.updates_processed += int(src.size)
         stats.noc_hops += network.stats.total_hops
+        stats.rerouted_packets += network.stats.rerouted_packets
         phase_coalesced = stats.updates_coalesced - coalesced_before
         phase_spd = stats.spd_reduces - spd_reduces_before
         stats.phase_updates.append(int(src.size))

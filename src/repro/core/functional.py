@@ -26,7 +26,7 @@ from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.mapping import make_mapping
 from repro.noc.aggregation import AggregationPipeline
-from repro.noc.mesh import MeshNetwork
+from repro.noc.fastmesh import make_mesh_network
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
 
@@ -167,7 +167,9 @@ class FunctionalScalaGraph:
             stats.updates_coalesced += pipe.stats.coalesced
 
         # Route surviving updates; local ones bypass the network.
-        network = MeshNetwork(self.topology, buffer_depth=8)
+        network = make_mesh_network(
+            self.topology, buffer_depth=8, engine=self.config.noc_engine
+        )
         reduce_ufunc = program.reduce_ufunc
         injected = 0
         for pe, items in outgoing.items():

@@ -34,6 +34,50 @@ class SimulationError(ReproError):
     """A simulator reached an inconsistent state."""
 
 
+class WorkerCrashError(ReproError):
+    """A parallel sweep exhausted its retries on one or more cells.
+
+    Raised by :func:`repro.experiments.parallel.run_matrix_parallel`
+    only when its retry budget is spent *and* the serial in-process
+    fallback is disabled; completed cells are already persisted (cache
+    and checkpoint), so re-invoking the sweep recomputes only the cells
+    named here.
+
+    Attributes:
+        cells: the (graph, algorithm, system) triples left uncomputed.
+    """
+
+    def __init__(self, cells) -> None:
+        self.cells = list(cells)
+        labels = ", ".join("/".join(cell) for cell in self.cells)
+        super().__init__(
+            f"{len(self.cells)} cell(s) failed after exhausting retries: "
+            f"{labels}"
+        )
+
+
+class EngineFallbackWarning(UserWarning):
+    """The vectorized NoC engine tripped a sanitizer invariant and the
+    run was transparently retried on the reference engine.
+
+    Structured so harnesses can filter on the failed engine and the
+    violated invariant without parsing prose.
+
+    Attributes:
+        engine: the engine that failed (e.g. ``vectorized``).
+        error: the :class:`SanitizerError` that triggered the fallback.
+    """
+
+    def __init__(self, engine: str, error: "SanitizerError") -> None:
+        self.engine = engine
+        self.error = error
+        super().__init__(
+            f"noc engine {engine!r} violated sanitizer invariant "
+            f"{error.invariant!r} (cycle {error.cycle}); "
+            "falling back to the reference engine for this run"
+        )
+
+
 class SanitizerError(SimulationError):
     """A runtime invariant checked by the SimSanitizer was violated.
 

@@ -14,7 +14,8 @@ from repro.experiments.breakdown import (
     describe,
     phase_shares,
 )
-from repro.experiments.parallel import run_matrix_parallel
+from repro.experiments.checkpoint import SweepCheckpoint
+from repro.experiments.parallel import RetryPolicy, run_matrix_parallel
 from repro.experiments.runner import (
     ALGORITHM_ORDER,
     GRAPH_ORDER,
@@ -51,6 +52,8 @@ __all__ = [
     "geometric_mean",
     "load_benchmark_graph",
     "run_matrix",
+    "RetryPolicy",
+    "SweepCheckpoint",
     "run_matrix_parallel",
     "format_series",
     "format_table",

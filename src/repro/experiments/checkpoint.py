@@ -1,0 +1,165 @@
+"""Crash-safe sweep checkpointing.
+
+A :class:`SweepCheckpoint` is an append-only JSONL journal of completed
+(graph, algorithm, system) cells.  The parallel runner appends each
+cell's report the moment it lands (fsync'd), so an interrupted sweep —
+killed workers, OOM, ctrl-C, power loss — loses at most the cells that
+were literally in flight; re-invoking the sweep with the same
+checkpoint path resumes from the journal instead of recomputing.
+
+The journal is self-describing: its first line is a header carrying a
+digest of the sweep's identity (axes, scale shift, iteration cap, model
+version).  A checkpoint written for a *different* sweep is ignored and
+rewritten rather than trusted — resuming PageRank cells into a BFS
+sweep would silently corrupt the matrix.  A torn final line (the writer
+died mid-append) is tolerated: parsing stops at the first undecodable
+line and everything before it is kept.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, TextIO, Tuple
+
+from repro.core.stats import SimulationReport
+
+_SCHEMA = "repro-sweep-checkpoint/1"
+
+#: A (graph, algorithm, system) cell key.
+CellKey = Tuple[str, str, str]
+
+
+def _signature_digest(signature: Dict) -> str:
+    return hashlib.sha256(
+        json.dumps(signature, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+class SweepCheckpoint:
+    """Append-only journal of a sweep's completed cells.
+
+    Args:
+        path: journal file location (created on first append; parent
+            directories are created as needed).
+        signature: JSON-serialisable description of the sweep's identity
+            (axes, scale shift, iteration cap, model version).  Only its
+            digest is stored; a stored digest that does not match means
+            the journal belongs to a different sweep and is discarded.
+    """
+
+    def __init__(self, path: os.PathLike, signature: Dict) -> None:
+        self.path = Path(path)
+        self.digest = _signature_digest(signature)
+        self._fh: Optional[TextIO] = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[CellKey, SimulationReport]:
+        """Completed cells journaled by a previous (interrupted) run.
+
+        Returns an empty mapping when the file is absent, carries a
+        mismatched signature, or is corrupt before any cell landed.
+        Parsing stops at the first torn/undecodable line; for duplicate
+        keys the last complete entry wins.
+        """
+        try:
+            raw = self.path.read_text()
+        except OSError:
+            return {}
+        lines = raw.splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return {}
+        if (
+            not isinstance(header, dict)
+            or header.get("schema") != _SCHEMA
+            or header.get("signature") != self.digest
+        ):
+            return {}
+        cells: Dict[CellKey, SimulationReport] = {}
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+                key = tuple(entry["key"])
+                if len(key) != 3:
+                    raise ValueError("malformed cell key")
+                report = SimulationReport.from_dict(entry["report"])
+            except (KeyError, TypeError, ValueError):
+                break  # torn tail: keep everything before it
+            cells[key] = report  # type: ignore[index]
+        return cells
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def start(self, reset: bool = False) -> None:
+        """Open the journal for appending.
+
+        An existing journal with a matching header is kept (its cells
+        stay resumable); anything else — or ``reset=True`` — is
+        rewritten with a fresh header.
+        """
+        keep = not reset and self._header_matches()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not keep:
+            self._fh = self.path.open("w")
+            self._fh.write(
+                json.dumps({"schema": _SCHEMA, "signature": self.digest})
+                + "\n"
+            )
+            self._flush()
+        else:
+            self._fh = self.path.open("a")
+
+    def _header_matches(self) -> bool:
+        try:
+            with self.path.open() as fh:
+                header = json.loads(fh.readline())
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(header, dict)
+            and header.get("schema") == _SCHEMA
+            and header.get("signature") == self.digest
+        )
+
+    def append(self, key: CellKey, report: SimulationReport) -> None:
+        """Journal one completed cell (flushed and fsync'd: after this
+        returns the cell survives any crash)."""
+        if self._fh is None:
+            self.start()
+        assert self._fh is not None
+        self._fh.write(
+            json.dumps(
+                {
+                    "key": list(key),
+                    "report": report.to_dict(include_iterations=True),
+                }
+            )
+            + "\n"
+        )
+        self._flush()
+
+    def _flush(self) -> None:
+        assert self._fh is not None
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -15,21 +15,41 @@ Design notes:
   splitting it over workers would recompute it per system.
 * Work items cross the process boundary as plain strings/ints and come
   back as :class:`SimulationReport` (numpy arrays pickle natively), so
-  pickling normally cannot fail; if it does — or the pool itself breaks
-  (sandboxes without working semaphores, dying workers) — the runner
-  falls back to in-process serial execution rather than raising.
-* With a :class:`~repro.experiments.store.ResultCache`, cached cells
-  are loaded in the parent before any worker is spawned; only stale
-  cells are dispatched, and fresh results are written back.
+  pickling normally cannot fail; if it does — or multiprocessing is
+  unavailable altogether — the runner falls back to in-process serial
+  execution rather than raising.
+* **Crash isolation** (:class:`RetryPolicy`): a worker that dies (OOM
+  kill, segfault) breaks the whole ``ProcessPoolExecutor``; instead of
+  aborting the sweep, the runner requeues the in-flight cells, rebuilds
+  the pool, and retries each cell up to ``max_retries`` times with
+  exponential backoff.  Cells that exhaust their retries are recomputed
+  serially in-process (``serial_fallback=True``, the default) or
+  reported via :class:`~repro.errors.WorkerCrashError`.
+* **Timeouts**: with ``cell_timeout`` set, a cell that exceeds its
+  wall-clock budget is cancelled (or, if already running, its pool is
+  torn down) and retried like a crashed cell.
+* **Incremental persistence**: with a
+  :class:`~repro.experiments.store.ResultCache`, cached cells are
+  loaded in the parent before any worker is spawned and fresh results
+  are written back *per completed cell*, not at sweep end — a crash
+  never discards finished work.  A
+  :class:`~repro.experiments.checkpoint.SweepCheckpoint` journal
+  additionally makes interrupted sweeps resumable even without a
+  cache: at most the in-flight cells are lost.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.stats import SimulationReport
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.experiments.checkpoint import SweepCheckpoint
 from repro.experiments.runner import (
     ALGORITHM_ORDER,
     GRAPH_ORDER,
@@ -37,10 +57,50 @@ from repro.experiments.runner import (
     ExperimentMatrix,
     execute_cell,
 )
-from repro.experiments.store import ResultCache
+from repro.experiments.store import CODE_MODEL_VERSION, ResultCache
 
 #: (graph, algorithm, missing-systems) work unit shipped to a worker.
 _CellJob = Tuple[str, str, Tuple[str, ...]]
+
+#: Callback fired in the parent for every completed (g, a, s) result.
+_OnResult = Callable[[Tuple[str, str, str], SimulationReport], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Resilience knobs of the pooled runner.
+
+    Attributes:
+        cell_timeout: wall-clock seconds one cell (its whole worker
+            call) may take before it is cancelled and retried; None
+            disables timeouts.
+        max_retries: times a crashed/timed-out cell is retried on a
+            fresh pool before it is given up on (0 = no retries).
+        backoff: base of the exponential retry delay; retry *n* sleeps
+            ``backoff * 2**(n-1)`` seconds (capped at 2 s).
+        poll_interval: seconds the parent blocks per wait() call while
+            supervising in-flight cells; bounds timeout-detection
+            latency.
+        serial_fallback: recompute cells that exhausted their retries
+            serially in-process (True, the default) instead of raising
+            :class:`~repro.errors.WorkerCrashError`.
+    """
+
+    cell_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.05
+    poll_interval: float = 0.1
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ConfigurationError("cell_timeout must be positive or None")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff < 0:
+            raise ConfigurationError("backoff must be >= 0")
+        if self.poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be positive")
 
 
 def _cell_worker(
@@ -65,6 +125,8 @@ def run_matrix_parallel(
     max_workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     refresh: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    checkpoint: Optional[Path] = None,
 ) -> ExperimentMatrix:
     """Run the sweep with cell-level process parallelism.
 
@@ -73,8 +135,15 @@ def run_matrix_parallel(
             (bounded by the number of dispatched cells), ``1`` runs
             serially in-process without spawning a pool.
         cache: optional on-disk result cache; hits skip computation
-            entirely and fresh cells are written back.
-        refresh: recompute every cell even when cached.
+            entirely and fresh cells are written back as they complete.
+        refresh: recompute every cell even when cached/checkpointed.
+        policy: crash-isolation/timeout/retry knobs of the pooled path
+            (defaults to :class:`RetryPolicy`'s defaults).
+        checkpoint: optional path to a
+            :class:`~repro.experiments.checkpoint.SweepCheckpoint`
+            journal.  Completed cells are journaled as they land and an
+            interrupted sweep re-invoked with the same path resumes
+            from the journal, losing at most the in-flight cells.
 
     Returns:
         The same :class:`ExperimentMatrix` the serial runner produces —
@@ -88,12 +157,34 @@ def run_matrix_parallel(
     algorithms = tuple(algorithms)
     systems = tuple(systems)
 
+    ckpt: Optional[SweepCheckpoint] = None
+    resumed: Dict[Tuple[str, str, str], SimulationReport] = {}
+    if checkpoint is not None:
+        ckpt = SweepCheckpoint(
+            checkpoint,
+            signature={
+                "graphs": list(graphs),
+                "algorithms": list(algorithms),
+                "systems": list(systems),
+                "scale_shift": scale_shift,
+                "max_iterations": max_iterations,
+                "model_version": (
+                    cache.model_version
+                    if cache is not None
+                    else CODE_MODEL_VERSION
+                ),
+            },
+        )
+        if not refresh:
+            resumed = ckpt.load()
+
     cached: Dict[Tuple[str, str, str], SimulationReport] = {}
     jobs: List[_CellJob] = []
     for graph_name in graphs:
         for algorithm_name in algorithms:
             missing: List[str] = []
             for system_label in systems:
+                key = (graph_name, algorithm_name, system_label)
                 report = None
                 if cache is not None and not refresh:
                     report = cache.get(
@@ -103,34 +194,63 @@ def run_matrix_parallel(
                         scale_shift=scale_shift,
                         max_iterations=max_iterations,
                     )
+                if report is None and key in resumed:
+                    report = resumed[key]
+                    if cache is not None:
+                        # Promote the journaled cell into the cache so
+                        # later sweeps hit without the checkpoint file.
+                        cache.put(
+                            graph_name,
+                            algorithm_name,
+                            system_label,
+                            report,
+                            scale_shift=scale_shift,
+                            max_iterations=max_iterations,
+                        )
                 if report is None:
                     missing.append(system_label)
                 else:
-                    cached[(graph_name, algorithm_name, system_label)] = report
+                    cached[key] = report
             if missing:
                 jobs.append((graph_name, algorithm_name, tuple(missing)))
 
-    computed: Dict[Tuple[str, str, str], SimulationReport] = {}
-    if jobs:
-        if max_workers == 1 or len(jobs) == 1:
-            _run_jobs_serial(jobs, scale_shift, max_iterations, computed)
-        else:
-            _run_jobs_pooled(
-                jobs, scale_shift, max_iterations, max_workers, computed
-            )
-
-    if cache is not None:
-        for (graph_name, algorithm_name, system_label), report in (
-            computed.items()
-        ):
+    def persist(
+        key: Tuple[str, str, str], report: SimulationReport
+    ) -> None:
+        # Incremental write-back: runs in the parent the moment a cell
+        # completes, so a crash later in the sweep loses nothing.
+        if cache is not None:
             cache.put(
-                graph_name,
-                algorithm_name,
-                system_label,
+                key[0],
+                key[1],
+                key[2],
                 report,
                 scale_shift=scale_shift,
                 max_iterations=max_iterations,
             )
+        if ckpt is not None:
+            ckpt.append(key, report)
+
+    on_result = persist if (cache is not None or ckpt is not None) else None
+
+    computed: Dict[Tuple[str, str, str], SimulationReport] = {}
+    if jobs:
+        if ckpt is not None:
+            ckpt.start(reset=refresh)
+        try:
+            if max_workers == 1 or len(jobs) == 1:
+                _run_jobs_serial(
+                    jobs, scale_shift, max_iterations, computed,
+                    on_result=on_result,
+                )
+            else:
+                _run_jobs_pooled(
+                    jobs, scale_shift, max_iterations, max_workers, computed,
+                    policy=policy, on_result=on_result,
+                )
+        finally:
+            if ckpt is not None:
+                ckpt.close()
 
     matrix = ExperimentMatrix()
     for graph_name in graphs:
@@ -151,12 +271,24 @@ def _run_jobs_serial(
     scale_shift: int,
     max_iterations: Optional[int],
     out: Dict[Tuple[str, str, str], SimulationReport],
+    on_result: Optional[_OnResult] = None,
 ) -> None:
     for graph_name, algorithm_name, missing in jobs:
         for system_label, report in execute_cell(
             graph_name, algorithm_name, missing, scale_shift, max_iterations
         ):
-            out[(graph_name, algorithm_name, system_label)] = report
+            key = (graph_name, algorithm_name, system_label)
+            out[key] = report
+            if on_result is not None:
+                on_result(key, report)
+
+
+def _terminate_pool(pool) -> None:
+    """Tear a pool down without waiting on its (possibly hung) workers."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _run_jobs_pooled(
@@ -165,48 +297,162 @@ def _run_jobs_pooled(
     max_iterations: Optional[int],
     max_workers: Optional[int],
     out: Dict[Tuple[str, str, str], SimulationReport],
+    policy: Optional[RetryPolicy] = None,
+    on_result: Optional[_OnResult] = None,
 ) -> None:
-    """Fan the jobs over a process pool.
+    """Fan the jobs over a process pool with crash isolation.
 
-    Graceful degradation: when the pool cannot be used at all (no
-    multiprocessing support, broken workers) or a payload will not
-    pickle, whatever cells are still missing are recomputed serially
-    in-process; partial results from a pool that broke mid-flight are
-    kept and never overwritten.
+    A dying worker breaks the whole ``ProcessPoolExecutor`` (every
+    outstanding future raises ``BrokenProcessPool``); the supervisor
+    loop below requeues the in-flight cells, rebuilds the pool, and
+    retries them under the :class:`RetryPolicy`.  Cells that exhaust
+    their retries fall back to in-process serial execution (or raise
+    :class:`~repro.errors.WorkerCrashError` when the policy forbids the
+    fallback).  When the pool cannot be used at all (no multiprocessing
+    support) or a payload will not pickle, whatever cells are still
+    missing are recomputed serially; completed results are never
+    discarded or overwritten.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from concurrent.futures.process import BrokenProcessPool
 
+    policy = policy or RetryPolicy()
     if max_workers is not None:
         max_workers = min(max_workers, len(jobs))
+
+    pending: Deque[Tuple[_CellJob, int]] = deque((job, 0) for job in jobs)
+    failed: List[_CellJob] = []
+
+    def record(job: _CellJob, results) -> None:
+        graph_name, algorithm_name, _ = job
+        for system_label, report in results:
+            key = (graph_name, algorithm_name, system_label)
+            out[key] = report
+            if on_result is not None:
+                on_result(key, report)
+
+    def requeue(job: _CellJob, attempts: int) -> None:
+        if attempts > policy.max_retries:
+            failed.append(job)
+            return
+        if policy.backoff > 0 and attempts > 0:
+            time.sleep(min(policy.backoff * 2 ** (attempts - 1), 2.0))
+        pending.append((job, attempts))
+
     try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(
-                    _cell_worker,
-                    graph_name,
-                    algorithm_name,
-                    missing,
-                    scale_shift,
-                    max_iterations,
-                ): (graph_name, algorithm_name)
-                for graph_name, algorithm_name, missing in jobs
-            }
-            for future, (graph_name, algorithm_name) in futures.items():
-                for system_label, report in future.result():
-                    out[(graph_name, algorithm_name, system_label)] = report
-    except (BrokenProcessPool, pickle.PicklingError, OSError, ImportError):
+        while pending:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            limit = getattr(pool, "_max_workers", None) or len(jobs)
+            # future -> (job, attempts, deadline)
+            inflight: Dict = {}
+            broken = False
+            try:
+                while (pending or inflight) and not broken:
+                    while pending and len(inflight) < limit and not broken:
+                        job, attempts = pending.popleft()
+                        try:
+                            future = pool.submit(
+                                _cell_worker,
+                                job[0],
+                                job[1],
+                                job[2],
+                                scale_shift,
+                                max_iterations,
+                            )
+                        except BrokenProcessPool:
+                            broken = True
+                            requeue(job, attempts + 1)
+                            break
+                        deadline = (
+                            None
+                            if policy.cell_timeout is None
+                            else time.monotonic() + policy.cell_timeout
+                        )
+                        inflight[future] = (job, attempts, deadline)
+                    done, _ = wait(
+                        set(inflight),
+                        timeout=policy.poll_interval,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        job, attempts, _ = inflight.pop(future)
+                        try:
+                            results = future.result(timeout=0)
+                        except BrokenProcessPool:
+                            # A worker died; this future may be the
+                            # victim or a bystander — both retry.
+                            broken = True
+                            requeue(job, attempts + 1)
+                        else:
+                            record(job, results)
+                    if broken:
+                        continue
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, (_, _, deadline) in inflight.items()
+                        if deadline is not None and now >= deadline
+                    ]
+                    for future in expired:
+                        job, attempts, _ = inflight.pop(future)
+                        if not future.cancel():
+                            # Already running: the only way to reclaim
+                            # the worker is to tear the pool down.
+                            broken = True
+                        requeue(job, attempts + 1)
+            finally:
+                # Whatever is still in flight goes back to the queue: a
+                # cancelled-before-start cell keeps its attempt count, a
+                # victim of a broken/torn-down pool is charged one.
+                for future, (job, attempts, _) in inflight.items():
+                    if future.cancel():
+                        pending.appendleft((job, attempts))
+                    else:
+                        requeue(job, attempts + 1)
+                inflight.clear()
+                _terminate_pool(pool)
+    except (pickle.PicklingError, OSError, ImportError):
         # No/broken multiprocessing support, or an unpicklable payload:
         # recompute whatever is still missing in-process.
-        missing_jobs = [
-            (graph_name, algorithm_name, tuple(
-                s
-                for s in missing
-                if (graph_name, algorithm_name, s) not in out
-            ))
-            for graph_name, algorithm_name, missing in jobs
-            if any(
-                (graph_name, algorithm_name, s) not in out for s in missing
+        _run_jobs_serial(
+            _still_missing(jobs, out),
+            scale_shift,
+            max_iterations,
+            out,
+            on_result=on_result,
+        )
+        return
+
+    if failed:
+        if policy.serial_fallback:
+            _run_jobs_serial(
+                _still_missing(failed, out),
+                scale_shift,
+                max_iterations,
+                out,
+                on_result=on_result,
             )
-        ]
-        _run_jobs_serial(missing_jobs, scale_shift, max_iterations, out)
+        else:
+            raise WorkerCrashError(
+                (graph_name, algorithm_name, system_label)
+                for graph_name, algorithm_name, missing in failed
+                for system_label in missing
+                if (graph_name, algorithm_name, system_label) not in out
+            )
+
+
+def _still_missing(
+    jobs: Sequence[_CellJob],
+    out: Dict[Tuple[str, str, str], SimulationReport],
+) -> List[_CellJob]:
+    """The sub-jobs whose systems are not computed yet."""
+    remaining: List[_CellJob] = []
+    for graph_name, algorithm_name, missing in jobs:
+        left = tuple(
+            system_label
+            for system_label in missing
+            if (graph_name, algorithm_name, system_label) not in out
+        )
+        if left:
+            remaining.append((graph_name, algorithm_name, left))
+    return remaining

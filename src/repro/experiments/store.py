@@ -203,7 +203,11 @@ class ResultCache:
 
         Unreadable or version-mismatched entries count as misses (and
         as ``stats.invalid``) rather than raising — a corrupt cache
-        must never break a sweep.
+        must never break a sweep.  The offending file is deleted so the
+        recomputed result can be re-cached cleanly (a truncated entry —
+        e.g. from a worker killed mid-write outside the atomic-rename
+        path — would otherwise shadow every future write-back attempt's
+        read).
         """
         path = self._path(
             self.key(graph_name, algorithm, system, scale_shift, max_iterations)
@@ -219,6 +223,10 @@ class ResultCache:
         except (OSError, KeyError, TypeError, ValueError, ReproError):
             self.stats.invalid += 1
             self.stats.misses += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # unreadable *and* undeletable: still just a miss
             return None
         self.stats.hits += 1
         return report

@@ -11,7 +11,7 @@ vertex storage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 
@@ -65,6 +65,30 @@ class HBMConfig:
         """A config with effectively infinite bandwidth — used by the
         Figure 21 'sufficient off-chip bandwidth' scaling study."""
         return cls(total_bandwidth_gbs=1e9)
+
+    def with_disabled_channels(self, disabled: int) -> "HBMConfig":
+        """A copy with ``disabled`` pseudo channels offline.
+
+        Channel counts stay nominal (addressing is unchanged); only the
+        aggregate bandwidth is derated proportionally — the
+        fault-injection model of partial-resource HBM operation (see
+        :mod:`repro.faults`).  Disabling every channel is rejected.
+        """
+        if disabled < 0:
+            raise ConfigurationError("disabled channel count must be >= 0")
+        if disabled >= self.num_pseudo_channels:
+            raise ConfigurationError(
+                f"cannot disable {disabled} of "
+                f"{self.num_pseudo_channels} HBM pseudo channels"
+            )
+        if not disabled:
+            return self
+        fraction = (
+            self.num_pseudo_channels - disabled
+        ) / self.num_pseudo_channels
+        return replace(
+            self, total_bandwidth_gbs=self.total_bandwidth_gbs * fraction
+        )
 
 
 class HBMModel:

@@ -60,8 +60,9 @@ from repro.noc.router import (
 )
 from repro.noc.topology import MeshTopology
 
-if TYPE_CHECKING:  # import-free at runtime: the hook is duck-typed
+if TYPE_CHECKING:  # import-free at runtime: the hooks are duck-typed
     from repro.analysis.sanitizer import SimSanitizer
+    from repro.faults.schedule import FaultSchedule
 
 __all__ = [
     "AUTO_VECTORIZE_MIN_NODES",
@@ -106,6 +107,7 @@ class FastMeshNetwork:
         topology: MeshTopology,
         buffer_depth: int = 4,
         sanitizer: Optional["SimSanitizer"] = None,
+        faults: Optional["FaultSchedule"] = None,
     ) -> None:
         if buffer_depth <= 0:
             raise ConfigurationError("buffer_depth must be positive")
@@ -114,6 +116,10 @@ class FastMeshNetwork:
         #: Optional runtime invariant checker (see
         #: :mod:`repro.analysis.sanitizer`); None = zero overhead.
         self.sanitizer = sanitizer
+        #: Optional fault schedule (see :mod:`repro.faults`); None =
+        #: fault-free, zero overhead.  Must replay fault-for-fault
+        #: identically to the reference engine (equivalence contract).
+        self.faults = faults
         self.cycle = 0
         self.delivered: List[Packet] = []
         self.stats = MeshStats()
@@ -268,7 +274,47 @@ class FastMeshNetwork:
                 ),
             ),
         )
-        out = np.where(occ, out, -1)
+        faults = self.faults
+        if faults is None:
+            out = np.where(occ, out, -1)
+        else:
+            # Vectorised mirror of repro.faults.route_with_faults: dead
+            # XY links deflect one hop along the other axis (toward the
+            # destination row, or the mesh interior), a dead deflection
+            # blocks the packet this cycle, and frozen FIFOs withhold
+            # their requests entirely.  Kept decision-for-decision
+            # identical to the reference engine's scalar policy.
+            dead = faults.link_dead_mask(self.cycle)[active]
+            stall = faults.fifo_stall_mask(self.cycle)[active]
+            valid = occ & ~stall
+            a_col = np.arange(active.size)[:, None]
+            xy_dead = valid & dead[a_col, out]  # dead[:, LOCAL] is False
+            fault_seen = bool(xy_dead.any()) or bool((stall & occ).any())
+            if xy_dead.any():
+                rows_total = self.topology.rows
+                cols_total = self.topology.cols
+                is_x = (out == EAST) | (out == WEST)
+                deflect_same_row = np.where(
+                    row + 1 < rows_total, SOUTH, NORTH
+                )
+                alt_x = np.where(
+                    row < dst_row,
+                    SOUTH,
+                    np.where(row > dst_row, NORTH, deflect_same_row),
+                )
+                alt_y = np.where(col + 1 < cols_total, EAST, WEST)
+                alt = np.where(is_x, alt_x, alt_y)
+                blocked = dead[a_col, alt]
+                if rows_total == 1:
+                    blocked = blocked | is_x  # no Y axis to deflect along
+                if cols_total == 1:
+                    blocked = blocked | ~is_x  # no X axis to deflect along
+                out = np.where(
+                    xy_dead, np.where(blocked, -1, alt), out
+                )
+            if fault_seen:
+                self.stats.degraded_cycles += 1
+            out = np.where(valid, out, -1)
 
         # Switch allocation: for each (node, out port), the contending
         # input port closest at-or-after the round-robin pointer wins.
@@ -311,6 +357,27 @@ class FastMeshNetwork:
         count[pop_node, pop_in] -= 1
         self._rr[pop_node, pop_out] = (pop_in + 1) % NUM_PORTS
         serial = np.maximum(self._pkt_flits[pidx], 1) - 1
+        if faults is not None and gnode.size:
+            # Committed traversals leaving through a non-XY port are the
+            # detours (counted at commit, same as the reference engine).
+            t_dst = self._pkt_dst[pidx[num_local:]]
+            t_row, t_col = np.divmod(t_dst, self.topology.cols)
+            n_row = self._node_row[gnode]
+            n_col = self._node_col[gnode]
+            pure = np.where(
+                n_col < t_col,
+                EAST,
+                np.where(
+                    n_col > t_col,
+                    WEST,
+                    np.where(
+                        n_row < t_row,
+                        SOUTH,
+                        np.where(n_row > t_row, NORTH, LOCAL),
+                    ),
+                ),
+            )
+            self.stats.rerouted_packets += int(np.count_nonzero(go != pure))
 
         if num_local:
             self._deliver(
@@ -620,6 +687,7 @@ def make_mesh_network(
     buffer_depth: int = 4,
     sanitizer: Optional["SimSanitizer"] = None,
     engine: str = "auto",
+    faults: Optional["FaultSchedule"] = None,
 ) -> MeshEngine:
     """Build a cycle-level mesh simulator.
 
@@ -627,12 +695,17 @@ def make_mesh_network(
     object per node — the auditable golden model), ``"vectorized"``
     (:class:`FastMeshNetwork`), or ``"auto"`` (vectorised at or above
     :data:`AUTO_VECTORIZE_MIN_NODES` nodes).  Both produce identical
-    packets, cycles, and stats.
+    packets, cycles, and stats — including fault replay when a
+    :class:`~repro.faults.schedule.FaultSchedule` is armed.
     """
     if resolve_engine(engine, topology) == "vectorized":
         return FastMeshNetwork(
-            topology, buffer_depth=buffer_depth, sanitizer=sanitizer
+            topology,
+            buffer_depth=buffer_depth,
+            sanitizer=sanitizer,
+            faults=faults,
         )
     return MeshNetwork(
-        topology, buffer_depth=buffer_depth, sanitizer=sanitizer
+        topology, buffer_depth=buffer_depth, sanitizer=sanitizer,
+        faults=faults,
     )

@@ -20,8 +20,9 @@ import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-if TYPE_CHECKING:  # import-free at runtime: the hook is duck-typed
+if TYPE_CHECKING:  # import-free at runtime: the hooks are duck-typed
     from repro.analysis.sanitizer import SimSanitizer
+    from repro.faults.schedule import FaultSchedule
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.noc.packet import Packet
@@ -33,6 +34,7 @@ from repro.noc.router import (
     SOUTH,
     WEST,
     Router,
+    xy_output_port,
 )
 from repro.noc.topology import MeshTopology
 
@@ -61,6 +63,13 @@ class MeshStats:
         max_occupancy: peak total buffer occupancy across routers.
         stalled_moves: grants that could not proceed for lack of
             downstream buffer space (routing conflicts surface here).
+        degraded_cycles: cycles in which an armed fault schedule
+            actually degraded progress — a head-of-line packet faced a
+            dead XY link (detoured or blocked) or a nonempty FIFO sat
+            frozen.  Zero when no faults are armed.
+        rerouted_packets: committed link traversals that left through a
+            non-XY port (the detour-around-dead-link policy of
+            :mod:`repro.faults`).
     """
 
     cycles: int = 0
@@ -70,6 +79,8 @@ class MeshStats:
     total_latency: int = 0
     max_occupancy: int = 0
     stalled_moves: int = 0
+    degraded_cycles: int = 0
+    rerouted_packets: int = 0
 
     @property
     def average_latency(self) -> float:
@@ -93,12 +104,16 @@ class MeshNetwork:
         topology: MeshTopology,
         buffer_depth: int = 4,
         sanitizer: Optional["SimSanitizer"] = None,
+        faults: Optional["FaultSchedule"] = None,
     ) -> None:
         self.topology = topology
         self.buffer_depth = buffer_depth
         #: Optional runtime invariant checker (see
         #: :mod:`repro.analysis.sanitizer`); None = zero overhead.
         self.sanitizer = sanitizer
+        #: Optional fault schedule (see :mod:`repro.faults`); None =
+        #: fault-free, zero overhead.
+        self.faults = faults
         self.routers = [
             Router(node=n, buffer_depth=buffer_depth)
             for n in range(topology.num_nodes)
@@ -155,13 +170,45 @@ class MeshNetwork:
         self._tick_link_busy()
 
         # Collect all grants first (read phase); outputs still busy
-        # serialising a multi-flit packet are skipped.
+        # serialising a multi-flit packet are skipped.  With a fault
+        # schedule armed, routing goes through the schedule's detour
+        # policy, frozen FIFOs withhold their requests, and any fault
+        # that touched a live packet marks the cycle degraded.
         moves: List[Tuple[int, int, int]] = []  # (node, out_port, in_port)
-        for router in self.routers:
-            for out_port, in_port in router.arbitrate(self.topology).items():
-                if self._link_busy.get((router.node, out_port), 0) > 0:
-                    continue
-                moves.append((router.node, out_port, in_port))
+        faults = self.faults
+        fault_seen = False
+        if faults is None:
+            for router in self.routers:
+                grants = router.arbitrate(self.topology)
+                for out_port, in_port in grants.items():
+                    if self._link_busy.get((router.node, out_port), 0) > 0:
+                        continue
+                    moves.append((router.node, out_port, in_port))
+        else:
+            stall_mask = faults.fifo_stall_mask(self.cycle)
+
+            def route_fn(node: int, dst: int) -> Optional[int]:
+                nonlocal fault_seen
+                port, hit = faults.route(node, dst, self.cycle)
+                fault_seen = fault_seen or hit
+                return port
+
+            for router in self.routers:
+                stall_row = stall_mask[router.node]
+                frozen: Tuple[int, ...] = ()
+                if stall_row.any():
+                    frozen = tuple(
+                        p
+                        for p in range(len(router.inputs))
+                        if stall_row[p]
+                    )
+                    if any(router.inputs[p] for p in frozen):
+                        fault_seen = True
+                grants = router.arbitrate(self.topology, route_fn, frozen)
+                for out_port, in_port in grants.items():
+                    if self._link_busy.get((router.node, out_port), 0) > 0:
+                        continue
+                    moves.append((router.node, out_port, in_port))
 
         # Reserve downstream capacity: at most one packet enters a given
         # (router, input port) per cycle, and only if space exists *now*.
@@ -184,6 +231,15 @@ class MeshNetwork:
         for node, out_port, in_port in accepted:
             router = self.routers[node]
             packet = router.commit_grant(out_port, in_port)
+            if (
+                faults is not None
+                and out_port != LOCAL
+                and out_port
+                != xy_output_port(self.topology, node, packet.dst)
+            ):
+                # Counted at commit so arbitration losers and
+                # backpressured grants are not double-counted.
+                self.stats.rerouted_packets += 1
             serialisation = max(int(packet.flits), 1) - 1
             if out_port == LOCAL:
                 packet.delivered_cycle = self.cycle + serialisation
@@ -218,6 +274,8 @@ class MeshNetwork:
                     )
         for downstream, dst_in, packet in arrivals:
             downstream.accept(dst_in, packet)
+        if fault_seen:
+            self.stats.degraded_cycles += 1
 
         occupancy = sum(r.occupancy() for r in self.routers)
         self.stats.max_occupancy = max(self.stats.max_occupancy, occupancy)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.noc.packet import Packet
@@ -73,7 +73,10 @@ class Router:
         return tuple(len(q) for q in self.inputs)
 
     def arbitrate(
-        self, topology: MeshTopology
+        self,
+        topology: MeshTopology,
+        route_fn: Optional[Callable[[int, int], Optional[int]]] = None,
+        frozen_ports: Tuple[int, ...] = (),
     ) -> Dict[int, int]:
         """Pick one winning input port per requested output port.
 
@@ -81,12 +84,24 @@ class Router:
         some head-of-line packet wants this cycle.  Round-robin pointers
         rotate *only* when a grant is issued, which keeps arbitration
         fair under sustained contention.
+
+        ``route_fn(node, dst)`` overrides the XY routing decision (the
+        fault-injection detour hook); returning None withholds that
+        packet's request this cycle.  ``frozen_ports`` lists input
+        FIFOs whose dequeues are stalled (fault injection): they make
+        no request at all, but keep accepting arrivals.
         """
         requests: Dict[int, List[int]] = {}
         for in_port, queue in enumerate(self.inputs):
-            if not queue:
+            if not queue or in_port in frozen_ports:
                 continue
-            out_port = xy_output_port(topology, self.node, queue[0].dst)
+            if route_fn is None:
+                out_port = xy_output_port(topology, self.node, queue[0].dst)
+            else:
+                routed = route_fn(self.node, queue[0].dst)
+                if routed is None:
+                    continue
+                out_port = routed
             requests.setdefault(out_port, []).append(in_port)
 
         grants: Dict[int, int] = {}

@@ -1,0 +1,348 @@
+"""Crash isolation, timeouts, and checkpoint resume of the pooled runner.
+
+The workers used here are top-level functions so they pickle by
+reference into pool children; with the fork start method (asserted
+below) the children inherit the parent's monkeypatched module state,
+which is what routes the pool through them.  Coordination crosses the
+process boundary through flag files under ``REPRO_RESILIENCE_DIR``.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.parallel as parallel_mod
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.experiments import (
+    RetryPolicy,
+    SweepCheckpoint,
+    run_matrix,
+    run_matrix_parallel,
+)
+from repro.experiments.runner import execute_cell
+from repro.experiments.store import ResultCache
+
+GRAPHS = ["PK"]
+ALGORITHMS = ["bfs", "pagerank", "cc", "sssp"]
+SYSTEMS = ["ScalaGraph-512"]
+KW = dict(scale_shift=-5, max_iterations=3)
+
+#: The (graph, algorithm) cell whose worker misbehaves.  It is last in
+#: nominal order, so with 2 workers the first cells complete (and
+#: persist) before the poison cell is even submitted.
+POISON = ("PK", "sssp")
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="workers see monkeypatched module state only under fork",
+)
+
+
+def _flag(name: str) -> Path:
+    return Path(os.environ["REPRO_RESILIENCE_DIR"]) / name
+
+
+def _record_invocation(graph_name: str, algorithm_name: str) -> None:
+    marker = _flag(f"invoked-{graph_name}-{algorithm_name}-{os.getpid()}")
+    with marker.open("a") as fh:
+        fh.write("x\n")
+
+
+def recording_execute_cell(
+    graph_name, algorithm_name, systems, scale_shift, max_iterations
+):
+    """Serial-path stand-in for execute_cell that logs invocations."""
+    _record_invocation(graph_name, algorithm_name)
+    return execute_cell(
+        graph_name, algorithm_name, systems, scale_shift, max_iterations
+    )
+
+
+def crash_once_worker(
+    graph_name, algorithm_name, systems, scale_shift, max_iterations
+):
+    """Dies via SIGKILL the first time it sees the poison cell."""
+    _record_invocation(graph_name, algorithm_name)
+    if (graph_name, algorithm_name) == POISON:
+        armed = _flag("crash-armed")
+        if not armed.exists():
+            armed.write_text("fired")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return execute_cell(
+        graph_name, algorithm_name, systems, scale_shift, max_iterations
+    )
+
+
+def crash_always_worker(
+    graph_name, algorithm_name, systems, scale_shift, max_iterations
+):
+    """Dies via SIGKILL every time it sees the poison cell, unless the
+    disarm flag exists."""
+    _record_invocation(graph_name, algorithm_name)
+    if (graph_name, algorithm_name) == POISON and not _flag(
+        "crash-disarmed"
+    ).exists():
+        os.kill(os.getpid(), signal.SIGKILL)
+    return execute_cell(
+        graph_name, algorithm_name, systems, scale_shift, max_iterations
+    )
+
+
+def slow_once_worker(
+    graph_name, algorithm_name, systems, scale_shift, max_iterations
+):
+    """Hangs well past the cell timeout the first time it sees the
+    poison cell."""
+    _record_invocation(graph_name, algorithm_name)
+    if (graph_name, algorithm_name) == POISON:
+        armed = _flag("slow-armed")
+        if not armed.exists():
+            armed.write_text("fired")
+            time.sleep(60.0)
+    return execute_cell(
+        graph_name, algorithm_name, systems, scale_shift, max_iterations
+    )
+
+
+@pytest.fixture()
+def resilience_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESILIENCE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def invoked_cells(resilience_dir) -> set:
+    cells = set()
+    for marker in resilience_dir.glob("invoked-*"):
+        _, graph_name, algorithm_name, _ = marker.name.split("-")
+        cells.add((graph_name, algorithm_name))
+    return cells
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    return run_matrix(GRAPHS, ALGORITHMS, SYSTEMS, **KW)
+
+
+def assert_matches_serial(matrix, serial_matrix):
+    assert list(matrix.reports) == list(serial_matrix.reports)
+    for key, report in matrix.reports.items():
+        assert json.dumps(report.to_dict()) == json.dumps(
+            serial_matrix.reports[key].to_dict()
+        )
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(cell_timeout=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(poll_interval=0)
+
+
+class TestCrashIsolation:
+    def test_dead_worker_requeues_not_aborts(
+        self, resilience_dir, monkeypatch, serial_matrix
+    ):
+        """One SIGKILLed worker must cost a retry, not the sweep."""
+        monkeypatch.setattr(parallel_mod, "_cell_worker", crash_once_worker)
+        matrix = run_matrix_parallel(
+            GRAPHS,
+            ALGORITHMS,
+            SYSTEMS,
+            max_workers=2,
+            policy=RetryPolicy(max_retries=2, poll_interval=0.02),
+            **KW,
+        )
+        assert _flag("crash-armed").read_text() == "fired"
+        assert_matches_serial(matrix, serial_matrix)
+
+    def test_timeout_tears_down_and_retries(
+        self, resilience_dir, monkeypatch, serial_matrix
+    ):
+        """A cell exceeding its wall-clock budget is retried."""
+        monkeypatch.setattr(parallel_mod, "_cell_worker", slow_once_worker)
+        start = time.monotonic()
+        matrix = run_matrix_parallel(
+            GRAPHS,
+            ALGORITHMS,
+            SYSTEMS,
+            max_workers=2,
+            policy=RetryPolicy(
+                cell_timeout=2.0, max_retries=2, poll_interval=0.05
+            ),
+            **KW,
+        )
+        elapsed = time.monotonic() - start
+        assert _flag("slow-armed").exists()  # the hang really happened
+        assert elapsed < 50.0  # ...and was cut short, not waited out
+        assert_matches_serial(matrix, serial_matrix)
+
+    def test_exhausted_retries_fall_back_serially(
+        self, resilience_dir, monkeypatch, serial_matrix
+    ):
+        """A cell that crashes every pooled attempt still completes
+        in-process under the default serial fallback."""
+        monkeypatch.setattr(parallel_mod, "_cell_worker", crash_always_worker)
+        monkeypatch.setattr(
+            parallel_mod, "execute_cell", recording_execute_cell
+        )
+        matrix = run_matrix_parallel(
+            GRAPHS,
+            ALGORITHMS,
+            SYSTEMS,
+            max_workers=2,
+            policy=RetryPolicy(
+                max_retries=1, backoff=0.01, poll_interval=0.02
+            ),
+            **KW,
+        )
+        assert_matches_serial(matrix, serial_matrix)
+
+
+class TestCheckpointResume:
+    def test_resume_after_crash_loses_at_most_inflight(
+        self, resilience_dir, tmp_path, monkeypatch, serial_matrix
+    ):
+        """Kill a worker mid-sweep with retries and fallback disabled;
+        re-invoking with the same checkpoint completes the matrix
+        without recomputing any journaled cell."""
+        ckpt_path = tmp_path / "sweep.ckpt"
+        monkeypatch.setattr(parallel_mod, "_cell_worker", crash_always_worker)
+        monkeypatch.setattr(
+            parallel_mod, "execute_cell", recording_execute_cell
+        )
+        with pytest.raises(WorkerCrashError) as excinfo:
+            run_matrix_parallel(
+                GRAPHS,
+                ALGORITHMS,
+                SYSTEMS,
+                max_workers=2,
+                policy=RetryPolicy(
+                    max_retries=0,
+                    backoff=0.01,
+                    poll_interval=0.02,
+                    serial_fallback=False,
+                ),
+                checkpoint=ckpt_path,
+                **KW,
+            )
+        lost = {(g, a) for g, a, _ in excinfo.value.cells}
+        assert POISON in lost
+
+        journaled = {
+            (g, a)
+            for (g, a, _) in SweepCheckpoint(
+                ckpt_path, signature={}
+            ).load()  # empty signature: prove load() itself rejects it
+        }
+        assert journaled == set()  # mismatched signature -> ignored
+
+        # With 2 workers and the poison cell last, the first two cells
+        # finished (and were journaled) before the pool broke: at most
+        # the in-flight cells were lost.
+        survivors = {
+            (g, a)
+            for g in GRAPHS
+            for a in ALGORITHMS
+            if (g, a) not in lost
+        }
+        assert len(survivors) >= 2
+
+        # Second invocation: poison disarmed, same checkpoint.
+        _flag("crash-disarmed").write_text("ok")
+        for marker in resilience_dir.glob("invoked-*"):
+            marker.unlink()
+        matrix = run_matrix_parallel(
+            GRAPHS,
+            ALGORITHMS,
+            SYSTEMS,
+            max_workers=2,
+            policy=RetryPolicy(poll_interval=0.02),
+            checkpoint=ckpt_path,
+            **KW,
+        )
+        assert_matches_serial(matrix, serial_matrix)
+        # Only the lost cells were recomputed; every journaled cell was
+        # resumed from the checkpoint file.
+        assert invoked_cells(resilience_dir) == lost
+
+    def test_incremental_cache_survives_dying_worker(
+        self, resilience_dir, tmp_path, monkeypatch
+    ):
+        """Completed cells are cache.put() the moment they land, so a
+        later crash cannot discard them (satellite: incremental
+        write-back)."""
+        cache = ResultCache(tmp_path / "cache")
+        monkeypatch.setattr(parallel_mod, "_cell_worker", crash_always_worker)
+        with pytest.raises(WorkerCrashError):
+            run_matrix_parallel(
+                GRAPHS,
+                ALGORITHMS,
+                SYSTEMS,
+                max_workers=2,
+                cache=cache,
+                policy=RetryPolicy(
+                    max_retries=0,
+                    backoff=0.01,
+                    poll_interval=0.02,
+                    serial_fallback=False,
+                ),
+                **KW,
+            )
+        stores_after_crash = cache.stats.stores
+        assert stores_after_crash >= 2  # finished cells were persisted
+
+        _flag("crash-disarmed").write_text("ok")
+        matrix = run_matrix_parallel(
+            GRAPHS,
+            ALGORITHMS,
+            SYSTEMS,
+            max_workers=2,
+            cache=cache,
+            policy=RetryPolicy(poll_interval=0.02),
+            **KW,
+        )
+        assert len(matrix.reports) == len(ALGORITHMS)
+        # Cached cells were not recomputed: only the missing ones stored.
+        assert cache.stats.stores == len(ALGORITHMS)
+        assert cache.stats.hits == stores_after_crash
+
+    def test_checkpoint_signature_mismatch_is_ignored(self, tmp_path):
+        ckpt_path = tmp_path / "sweep.ckpt"
+        first = SweepCheckpoint(ckpt_path, signature={"axes": "a"})
+        first.start()
+        report = run_matrix(GRAPHS, ["bfs"], SYSTEMS, **KW).reports[
+            ("PK", "bfs", SYSTEMS[0])
+        ]
+        first.append(("PK", "bfs", SYSTEMS[0]), report)
+        first.close()
+        assert SweepCheckpoint(ckpt_path, signature={"axes": "a"}).load()
+        assert (
+            SweepCheckpoint(ckpt_path, signature={"axes": "b"}).load() == {}
+        )
+
+    def test_checkpoint_tolerates_torn_tail(self, tmp_path):
+        ckpt_path = tmp_path / "sweep.ckpt"
+        ckpt = SweepCheckpoint(ckpt_path, signature={"axes": "a"})
+        ckpt.start()
+        report = run_matrix(GRAPHS, ["bfs"], SYSTEMS, **KW).reports[
+            ("PK", "bfs", SYSTEMS[0])
+        ]
+        ckpt.append(("PK", "bfs", SYSTEMS[0]), report)
+        ckpt.close()
+        with ckpt_path.open("a") as fh:
+            fh.write('{"key": ["PK", "pagerank", "Sca')  # torn write
+        loaded = SweepCheckpoint(ckpt_path, signature={"axes": "a"}).load()
+        assert set(loaded) == {("PK", "bfs", SYSTEMS[0])}
+        assert json.dumps(
+            loaded[("PK", "bfs", SYSTEMS[0])].to_dict()
+        ) == json.dumps(report.to_dict())

@@ -66,7 +66,9 @@ class TestPoolFallback:
     ):
         """A pool that cannot run any job must degrade, not raise."""
 
-        def broken_pool(jobs, scale_shift, max_iterations, max_workers, out):
+        def broken_pool(
+            jobs, scale_shift, max_iterations, max_workers, out, **kwargs
+        ):
             parallel_mod._run_jobs_serial(
                 jobs, scale_shift, max_iterations, out
             )

@@ -47,6 +47,14 @@ RULE_FIXTURES = {
         "    noc: int\n"
         "    memory: int\n"
     ),
+    "SIM501": (
+        "from concurrent.futures import wait\n"
+        "\n"
+        "\n"
+        "def collect(futures):\n"
+        "    done, _ = wait(futures)\n"
+        "    return [f.result() for f in done]\n"
+    ),
 }
 
 CLEAN_SOURCE = (
@@ -99,6 +107,50 @@ class TestFixturePerRule:
         code, text = lint_fixture_via_cli(tmp_path, "def broken(:\n")
         assert code != 0
         assert "SIM000" in text
+
+
+class TestUnboundedResultWait:
+    """SIM501 specifics: the gate, and what counts as bounded."""
+
+    def test_timeouts_satisfy_the_rule(self):
+        source = (
+            "from concurrent.futures import FIRST_COMPLETED, wait\n"
+            "\n"
+            "\n"
+            "def collect(futures):\n"
+            "    done, _ = wait(\n"
+            "        futures, timeout=1.0, return_when=FIRST_COMPLETED\n"
+            "    )\n"
+            "    return [f.result(timeout=0) for f in done]\n"
+        )
+        assert lint_source(source) == []
+
+    def test_positional_timeout_counts(self):
+        source = (
+            "from concurrent.futures import as_completed\n"
+            "\n"
+            "\n"
+            "def collect(futures):\n"
+            "    return [f.result(5) for f in as_completed(futures, 5)]\n"
+        )
+        assert lint_source(source) == []
+
+    def test_without_concurrency_import_not_flagged(self):
+        source = (
+            "def poll(handles):\n"
+            "    return [h.result() for h in handles]\n"
+        )
+        assert lint_source(source) == []
+
+    def test_multiprocessing_get_flagged(self):
+        source = (
+            "import multiprocessing\n"
+            "\n"
+            "\n"
+            "def collect(async_result):\n"
+            "    return async_result.get()\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["SIM501"]
 
 
 class TestSuppressions:
