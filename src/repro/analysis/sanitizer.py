@@ -216,6 +216,62 @@ class SimSanitizer:
                 cycle=cycle,
             )
 
+    def check_aggregation_ledger_arrays(
+        self, batch: Any, cycle: Optional[int] = None
+    ) -> None:
+        """Array form of :meth:`check_aggregation_ledger` for the
+        struct-of-arrays register array
+        (:class:`~repro.noc.aggregation.BatchedAggregationArray`):
+        audits every PE's ledger, occupancy counter, and the
+        prefix-dense column invariant in one call (duck-typed — any
+        object with ``offered``/``coalesced``/``stored``/``rejected``/
+        ``emitted``/``occ``/``vid``/``capacity`` works).
+        """
+        self.checks_run += 1
+        balance = batch.coalesced + batch.stored + batch.rejected
+        bad = batch.offered != balance
+        if bad.any():
+            pe = int(bad.argmax())
+            self.fail(
+                "aggregation-ledger",
+                f"PE {pe}: offered={int(batch.offered[pe])} != "
+                f"coalesced={int(batch.coalesced[pe])} "
+                f"+ stored={int(batch.stored[pe])} "
+                f"+ rejected={int(batch.rejected[pe])}",
+                cycle=cycle,
+            )
+        live = (batch.vid != -1).sum(axis=(1, 2))
+        drift = live != batch.occ
+        if drift.any():
+            pe = int(drift.argmax())
+            self.fail(
+                "aggregation-ledger",
+                f"PE {pe}: occupancy counter {int(batch.occ[pe])} != "
+                f"{int(live[pe])} live registers",
+                cycle=cycle,
+            )
+        outside = (batch.occ < 0) | (batch.occ > batch.capacity)
+        if outside.any():
+            pe = int(outside.argmax())
+            self.fail(
+                "aggregation-ledger",
+                f"PE {pe}: occupancy {int(batch.occ[pe])} outside "
+                f"[0, {batch.capacity}]",
+                cycle=cycle,
+            )
+        # Prefix density: a register below an empty stage of the same
+        # column would make the systolic read path drop it.
+        occupied = batch.vid != -1
+        dense = occupied[:, 1:, :] <= occupied[:, :-1, :]
+        if not dense.all():
+            pe = int((~dense).any(axis=(1, 2)).argmax())
+            self.fail(
+                "aggregation-ledger",
+                f"PE {pe}: register column is not prefix-dense "
+                "(occupied stage below an empty one)",
+                cycle=cycle,
+            )
+
     def check_aggregation_ledger(
         self, pipeline: Any, cycle: Optional[int] = None
     ) -> None:

@@ -101,12 +101,19 @@ class ScalaGraphConfig:
             golden model), 'vectorized' (struct-of-arrays NumPy engine,
             behaviourally identical), or 'auto' (vectorized at or above
             repro.noc.fastmesh.AUTO_VECTORIZE_MIN_NODES nodes).
-        noc_engine_fallback: when the vectorized engine trips a
-            SanitizerError mid-run, transparently retry the whole run
-            on the reference engine with an EngineFallbackWarning
-            instead of killing the experiment (graceful degradation;
-            set False to let the error propagate, e.g. in engine
-            debugging sessions).
+        noc_engine_fallback: when a vectorized engine (mesh or scatter)
+            trips a SanitizerError mid-run, transparently retry the
+            whole run on the reference engines with an
+            EngineFallbackWarning instead of killing the experiment
+            (graceful degradation; set False to let the error
+            propagate, e.g. in engine debugging sessions).
+        cycle_engine: scatter-phase implementation of the cycle-accurate
+            simulator — 'reference' (per-object Python loops, the
+            auditable golden model), 'vectorized' (struct-of-arrays
+            NumPy engine over dispatch/aggregation/egress/SPD,
+            behaviourally identical; see repro.core.fastsim), or
+            'auto' (vectorized at or above
+            repro.core.fastsim.AUTO_CYCLE_ENGINE_MIN_NODES nodes).
         hbm: off-chip memory parameters.
         spd: scratchpad parameters.
         edge_bytes: stored bytes per edge (4, Section I).
@@ -124,6 +131,7 @@ class ScalaGraphConfig:
     inter_phase_pipelining: bool = True
     noc_engine: str = "auto"
     noc_engine_fallback: bool = True
+    cycle_engine: str = "auto"
     hbm: HBMConfig = field(default_factory=HBMConfig)
     spd: ScratchpadConfig = field(default_factory=ScratchpadConfig)
     edge_bytes: int = 4
@@ -143,6 +151,15 @@ class ScalaGraphConfig:
         if self.noc_engine.lower() not in ("auto", "reference", "vectorized"):
             raise ConfigurationError(
                 f"unknown noc_engine {self.noc_engine!r} "
+                "(auto/reference/vectorized)"
+            )
+        if self.cycle_engine.lower() not in (
+            "auto",
+            "reference",
+            "vectorized",
+        ):
+            raise ConfigurationError(
+                f"unknown cycle_engine {self.cycle_engine!r} "
                 "(auto/reference/vectorized)"
             )
         if self.aggregation_registers < 0:

@@ -13,12 +13,17 @@ slice retires one Reduce per cycle.
 It exists to validate the analytic timing model: tests check that on
 small graphs the two models' Scatter-phase cycle counts agree within a
 small factor, and that the architecture still computes exactly the
-Figure 1 result.  The dispatch/aggregation/SPD loops remain pure Python
-(O(cycles x PEs)), but the mesh-NoC step — historically the dominant
-cost — is delegated to the engine selected by
+Figure 1 result.  Two independently selectable engines cover the
+per-cycle work: the mesh-NoC step is delegated to
 :attr:`~repro.core.config.ScalaGraphConfig.noc_engine` (vectorised
 struct-of-arrays at 16x16 and beyond; see :mod:`repro.noc.fastmesh`),
-and fully idle cycles fast-forward to the mesh's next scheduled event.
+and the scatter-phase loops around it — dispatch, aggregation, RU
+egress, SPD retire — to
+:attr:`~repro.core.config.ScalaGraphConfig.cycle_engine` (the
+behaviourally identical :mod:`repro.core.fastsim` engine at the same
+threshold; this class's ``_scatter_phase`` is the auditable
+reference).  Fully idle cycles fast-forward to the mesh's next
+scheduled event under either engine.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from repro.algorithms.base import ProgramContext, VertexProgram
 from repro.algorithms.reference import gather_frontier_edges
 from repro.analysis.sanitizer import SimSanitizer, maybe_sanitizer
 from repro.core.config import ScalaGraphConfig
+from repro.core.fastsim import resolve_cycle_engine, scatter_phase_fast
 from repro.core.profiling import NULL_PROFILER, Profiler
 from repro.errors import (
     ConfigurationError,
@@ -44,7 +50,7 @@ from repro.errors import (
 from repro.faults import FaultSchedule
 from repro.graph.csr import CSRGraph
 from repro.mapping import make_mapping
-from repro.noc.aggregation import AggregationPipeline
+from repro.noc.aggregation import AggregationPipeline, aggregation_geometry
 from repro.noc.fastmesh import make_mesh_network, resolve_engine
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
@@ -197,29 +203,47 @@ class CycleAccurateScalaGraph:
     ) -> CycleResult:
         """Simulate ``program`` over ``graph`` cycle by cycle.
 
-        Graceful engine degradation: when the *vectorized* mesh engine
-        raises a :class:`~repro.errors.SanitizerError` mid-run, the run
-        is retried once on the reference engine with an
+        Graceful engine degradation: when a *vectorized* engine (the
+        mesh NoC or the fastsim scatter phase) raises a
+        :class:`~repro.errors.SanitizerError` mid-run, the run is
+        retried once with both engines on reference and an
         :class:`~repro.errors.EngineFallbackWarning` instead of killing
         the experiment (a run is a pure function of its inputs, so the
         retry is exact; an attached profiler accrues both attempts).
-        Disable via ``config.noc_engine_fallback=False``; a reference-
-        engine failure always propagates.
+        Disable via ``config.noc_engine_fallback=False``; an
+        all-reference failure always propagates.
         """
         engine = resolve_engine(self.config.noc_engine, self.topology)
+        cycle_engine = resolve_cycle_engine(
+            self.config.cycle_engine, self.topology
+        )
         try:
-            return self._run(
-                program, graph, max_iterations, max_cycles_per_phase, engine
-            )
-        except SanitizerError as exc:
-            if engine == "reference" or not self.config.noc_engine_fallback:
-                raise
-            warnings.warn(EngineFallbackWarning(engine, exc), stacklevel=2)
             return self._run(
                 program,
                 graph,
                 max_iterations,
                 max_cycles_per_phase,
+                engine,
+                cycle_engine,
+            )
+        except SanitizerError as exc:
+            vectorized = [
+                f"{name}:vectorized"
+                for name, eng in (("noc", engine), ("cycle", cycle_engine))
+                if eng == "vectorized"
+            ]
+            if not vectorized or not self.config.noc_engine_fallback:
+                raise
+            warnings.warn(
+                EngineFallbackWarning("+".join(vectorized), exc),
+                stacklevel=2,
+            )
+            return self._run(
+                program,
+                graph,
+                max_iterations,
+                max_cycles_per_phase,
+                "reference",
                 "reference",
             )
 
@@ -230,6 +254,7 @@ class CycleAccurateScalaGraph:
         max_iterations: Optional[int],
         max_cycles_per_phase: int,
         engine: str,
+        cycle_engine: str = "reference",
     ) -> CycleResult:
         ctx = ProgramContext(graph=graph)
         program.validate(ctx)
@@ -255,10 +280,16 @@ class CycleAccurateScalaGraph:
             # still be charged an Apply slot.
             touched_mask = np.zeros(graph.num_vertices, dtype=bool)
             with prof.timer("cycle_sim.scatter"):
-                cycles = self._scatter_phase(
-                    program, ctx, graph, active, props, vtemp, touched_mask,
-                    stats, max_cycles_per_phase, engine,
-                )
+                if cycle_engine == "vectorized":
+                    cycles = scatter_phase_fast(
+                        self, program, ctx, graph, active, props, vtemp,
+                        touched_mask, stats, max_cycles_per_phase, engine,
+                    )
+                else:
+                    cycles = self._scatter_phase(
+                        program, ctx, graph, active, props, vtemp,
+                        touched_mask, stats, max_cycles_per_phase, engine,
+                    )
             stats.scatter_cycles.append(cycles)
 
             # Apply: every touched slice applies one vertex per cycle.
@@ -417,8 +448,7 @@ class CycleAccurateScalaGraph:
                 return None
             pipe = pipelines.get(pe)
             if pipe is None:
-                stages = max(registers // 4, 1)
-                cols = max(registers // stages, 1)
+                stages, cols = aggregation_geometry(registers)
                 pipe = AggregationPipeline(
                     num_stages=stages,
                     num_columns=cols,

@@ -25,7 +25,7 @@ from repro.core.config import ScalaGraphConfig
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.mapping import make_mapping
-from repro.noc.aggregation import AggregationPipeline
+from repro.noc.aggregation import AggregationPipeline, aggregation_geometry
 from repro.noc.fastmesh import make_mesh_network
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
@@ -143,8 +143,7 @@ class FunctionalScalaGraph:
             if registers > 0:
                 pipe = pipelines.get(pe)
                 if pipe is None:
-                    stages = max(registers // 4, 1)
-                    cols = max(registers // stages, 1)
+                    stages, cols = aggregation_geometry(registers)
                     pipe = AggregationPipeline(
                         num_stages=stages,
                         num_columns=cols,

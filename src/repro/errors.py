@@ -57,14 +57,17 @@ class WorkerCrashError(ReproError):
 
 
 class EngineFallbackWarning(UserWarning):
-    """The vectorized NoC engine tripped a sanitizer invariant and the
-    run was transparently retried on the reference engine.
+    """A vectorized engine tripped a sanitizer invariant and the run
+    was transparently retried on the reference engine(s).
 
     Structured so harnesses can filter on the failed engine and the
     violated invariant without parsing prose.
 
     Attributes:
-        engine: the engine that failed (e.g. ``vectorized``).
+        engine: the engine(s) that were active when the invariant
+            tripped (e.g. ``vectorized``, or
+            ``noc:vectorized+cycle:vectorized`` from the cycle
+            simulator's dual-engine selection).
         error: the :class:`SanitizerError` that triggered the fallback.
     """
 
@@ -72,9 +75,9 @@ class EngineFallbackWarning(UserWarning):
         self.engine = engine
         self.error = error
         super().__init__(
-            f"noc engine {engine!r} violated sanitizer invariant "
+            f"engine {engine!r} violated sanitizer invariant "
             f"{error.invariant!r} (cycle {error.cycle}); "
-            "falling back to the reference engine for this run"
+            "falling back to the reference engine(s) for this run"
         )
 
 

@@ -234,6 +234,7 @@ class FaultSchedule:
         # cycle during differential runs.
         self._dead_cache: Tuple[int, Optional[np.ndarray]] = (-1, None)
         self._stall_cache: Tuple[int, Optional[np.ndarray]] = (-1, None)
+        self._pe_stall_cache: Tuple[int, Optional[np.ndarray]] = (-1, None)
 
     # ------------------------------------------------------------------
     # Mesh-facing queries
@@ -293,6 +294,19 @@ class FaultSchedule:
             if stall.pe == pe and stall.start <= cycle < stall.end:
                 return True
         return False
+
+    def pe_stall_mask(self, cycle: int) -> np.ndarray:
+        """``(nodes,)`` booleans: PEs stalled at ``cycle`` — the whole-
+        mesh form of :meth:`pe_stalled` for the vectorised scatter
+        engine (same one-entry cache pattern as the mesh masks)."""
+        cached_cycle, mask = self._pe_stall_cache
+        if cycle != cached_cycle or mask is None:
+            mask = np.zeros(self.topology.num_nodes, dtype=bool)
+            for stall in self.pe_stalls:
+                if stall.start <= cycle < stall.end:
+                    mask[stall.pe] = True
+            self._pe_stall_cache = (cycle, mask)
+        return mask
 
     # ------------------------------------------------------------------
     # Memory / analytic-model-facing queries

@@ -29,6 +29,8 @@ from repro.noc.crossbar import CrossbarSwitch, CrossbarStats
 from repro.noc.benes import BenesNetwork
 from repro.noc.aggregation import (
     AggregationPipeline,
+    BatchedAggregationArray,
+    aggregation_geometry,
     window_coalesce_count,
 )
 from repro.noc.traffic import (
@@ -51,6 +53,8 @@ __all__ = [
     "CrossbarStats",
     "BenesNetwork",
     "AggregationPipeline",
+    "BatchedAggregationArray",
+    "aggregation_geometry",
     "window_coalesce_count",
     "column_link_loads",
     "mesh_link_loads",

@@ -26,12 +26,31 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 
 if TYPE_CHECKING:  # hook is duck-typed; no runtime import needed
     from repro.analysis.sanitizer import SimSanitizer
 
 ReduceFn = Callable[[float, float], float]
+
+
+def aggregation_geometry(registers: int) -> Tuple[int, int]:
+    """``(num_stages, num_columns)`` of the register array holding
+    exactly ``registers`` registers.
+
+    The paper's 16-register default forms the 4x4 Figure 11 array; the
+    general rule keeps ~4 registers per stage (``stages = registers //
+    4``) and then walks down to the largest stage count that divides the
+    register budget, so the array's capacity always equals the
+    configured count — no silent quantisation (``registers=9`` is a 1x9
+    array, not a 2x4 one that drops a register).
+    """
+    if registers <= 0:
+        raise ConfigurationError("registers must be positive")
+    stages = max(registers // 4, 1)
+    while registers % stages:
+        stages -= 1
+    return stages, registers // stages
 
 
 @dataclass
@@ -159,12 +178,23 @@ class AggregationPipeline:
         return out.vertex, out.value
 
     def drain(self) -> List[Tuple[int, float]]:
-        """Emit everything (used at end of a Scatter phase)."""
+        """Emit everything (used at end of a Scatter phase).
+
+        Under the prefix-dense column invariant (stores fill the first
+        empty stage top-down, pops shift deeper stages up) a non-empty
+        pipeline always has an emittable stage-0 register, so a ``None``
+        emit while occupancy remains means registers were corrupted —
+        raise instead of silently dropping the residue.
+        """
         emitted = []
         while self.occupancy():
             item = self.emit()
-            if item is None:  # pragma: no cover - defensive
-                break
+            if item is None:
+                raise SimulationError(
+                    f"aggregation drain stuck with {self.occupancy()} "
+                    "registers occupied but nothing emittable; the "
+                    "prefix-dense column invariant was violated"
+                )
             emitted.append(item)
         return emitted
 
@@ -184,6 +214,229 @@ class AggregationPipeline:
                 self._rr_column = (col + 1) % self.num_columns
                 return col
         return None
+
+
+def run_ranks(sorted_keys: np.ndarray) -> np.ndarray:
+    """Rank of each element within its run of equal consecutive keys.
+
+    ``sorted_keys`` must already be sorted (or at least grouped); the
+    result for ``[3, 3, 7, 7, 7]`` is ``[0, 1, 0, 1, 2]``.  This is the
+    primitive behind conflict-free scatter rounds: elements of rank
+    ``r`` hit each key at most once.
+    """
+    n = sorted_keys.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    boundary = np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    starts = np.flatnonzero(boundary)
+    group = np.cumsum(boundary) - 1
+    return np.arange(n, dtype=np.int64) - starts[group]
+
+
+class BatchedAggregationArray:
+    """Every PE's Figure 11 register array in one struct-of-arrays state.
+
+    Semantically this is ``num_pes`` independent
+    :class:`AggregationPipeline` instances (same geometry, same default
+    ``vid % num_columns`` column hash, same round-robin read pointer),
+    but offers and emits are batched whole-cycle array operations for
+    the vectorised scatter engine (:mod:`repro.core.fastsim`).  A batch
+    is processed in *rounds*: offers are ranked within their
+    ``(pe, column)`` group, and rank ``r`` touches each column at most
+    once, so a round is one conflict-free fancy-indexed pass; rounds run
+    in rank order, which preserves the reference's per-column offer
+    order exactly (offers to different columns never interact).
+
+    Registers are ``(num_pes, num_stages, num_columns)`` arrays with
+    ``vid == -1`` marking an empty register; columns are prefix-dense
+    (occupied stages first), mirroring the reference invariant.
+    """
+
+    def __init__(
+        self,
+        num_pes: int,
+        num_stages: int,
+        num_columns: int,
+        reduce_ufunc: np.ufunc = np.add,
+        sanitizer: Optional["SimSanitizer"] = None,
+    ) -> None:
+        if num_pes <= 0 or num_stages <= 0 or num_columns <= 0:
+            raise ConfigurationError("array dimensions must be positive")
+        self.num_pes = num_pes
+        self.num_stages = num_stages
+        self.num_columns = num_columns
+        self.reduce_ufunc = reduce_ufunc
+        self.sanitizer = sanitizer
+        self.vid = np.full(
+            (num_pes, num_stages, num_columns), -1, dtype=np.int64
+        )
+        self.val = np.zeros((num_pes, num_stages, num_columns))
+        #: Live registers per PE (kept incrementally; audited on demand).
+        self.occ = np.zeros(num_pes, dtype=np.int64)
+        #: Round-robin read column per PE.
+        self.rr = np.zeros(num_pes, dtype=np.int64)
+        # Per-PE ledger counters, same meaning as AggregationStats.
+        # Maintained only when a sanitizer is armed — they exist to be
+        # audited by check_aggregation_ledger_arrays, and the unarmed
+        # fast path skips the bookkeeping.  `occ` is load-bearing
+        # (engine control flow) and always maintained.
+        self.offered = np.zeros(num_pes, dtype=np.int64)
+        self.coalesced = np.zeros(num_pes, dtype=np.int64)
+        self.stored = np.zeros(num_pes, dtype=np.int64)
+        self.rejected = np.zeros(num_pes, dtype=np.int64)
+        self.emitted = np.zeros(num_pes, dtype=np.int64)
+
+    @property
+    def capacity(self) -> int:
+        return self.num_stages * self.num_columns
+
+    def total_occupancy(self) -> int:
+        return int(self.occ.sum())
+
+    # ------------------------------------------------------------------
+    # Write path: one cycle's worth of offers, batched
+    # ------------------------------------------------------------------
+    def offer_batch(
+        self, pe: np.ndarray, vertex: np.ndarray, value: np.ndarray
+    ) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """Offer one cycle's dispatched updates to their PEs' arrays.
+
+        Mirrors the reference dispatch loop: a full column with no match
+        evicts its stage-0 register (systolic shift) and stores the
+        newcomer in the freed last stage.  Returns ``(num_coalesced,
+        evict_pe, evict_vertex, evict_value)`` with evictions ordered by
+        the position of the offer that caused them — exactly the order
+        the reference appends them to the out-FIFOs.
+        """
+        n = int(pe.size)
+        if n == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return 0, empty, empty, np.zeros(0)
+        col = vertex % self.num_columns
+        key = pe * self.num_columns + col
+        order = np.argsort(key, kind="stable")
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = run_ranks(key[order])
+        # Pre-slice the rounds: a stable sort by rank keeps each round's
+        # offers in stream order (ascending original position).
+        by_rank = np.argsort(rank, kind="stable")
+        n_rounds = int(rank[by_rank[-1]]) + 1
+        round_bounds = np.searchsorted(rank[by_rank], np.arange(n_rounds + 1))
+        # Per-PE ledgers exist to be audited; the unarmed path skips
+        # them (`occ` is load-bearing and always maintained).
+        audit = self.sanitizer is not None
+
+        coalesced_total = 0
+        ev_pos: List[np.ndarray] = []
+        ev_pe: List[np.ndarray] = []
+        ev_vid: List[np.ndarray] = []
+        ev_val: List[np.ndarray] = []
+        for r in range(n_rounds):
+            sel = by_rank[round_bounds[r]:round_bounds[r + 1]]
+            p, c = pe[sel], col[sel]
+            v, x = vertex[sel], value[sel]
+            if audit:
+                np.add.at(self.offered, p, 1)
+            # (k, num_stages) views of each offer's target column.
+            block_v = self.vid[p, :, c]
+            match = block_v == v[:, None]
+            has_match = match.any(axis=1)
+            if has_match.any():
+                m = has_match.nonzero()[0]
+                stage = match[m].argmax(axis=1)
+                pm, cm = p[m], c[m]
+                self.val[pm, stage, cm] = self.reduce_ufunc(
+                    self.val[pm, stage, cm], x[m]
+                )
+                if audit:
+                    np.add.at(self.coalesced, pm, 1)
+                coalesced_total += int(m.size)
+            rest = (~has_match).nonzero()[0]
+            if rest.size == 0:
+                continue
+            block_r = block_v[rest]
+            empty = block_r == -1
+            has_empty = empty.any(axis=1)
+            st = has_empty.nonzero()[0]
+            if st.size:
+                stage = empty[st].argmax(axis=1)
+                i = rest[st]
+                pi, ci = p[i], c[i]
+                self.vid[pi, stage, ci] = v[i]
+                self.val[pi, stage, ci] = x[i]
+                if audit:
+                    np.add.at(self.stored, pi, 1)
+                self.occ += np.bincount(pi, minlength=self.num_pes)
+            rj = rest[(~has_empty).nonzero()[0]]
+            if rj.size:
+                # Rejected: evict stage 0 of the full column, shift the
+                # column up, store the newcomer in the freed last stage.
+                # Ledger mirrors the reference's emit + second offer.
+                pj, cj = p[rj], c[rj]
+                ev_pos.append(sel[rj])
+                ev_pe.append(pj.copy())
+                ev_vid.append(self.vid[pj, 0, cj].copy())
+                ev_val.append(self.val[pj, 0, cj].copy())
+                col_v = self.vid[pj, :, cj]
+                col_x = self.val[pj, :, cj]
+                col_v[:, :-1] = col_v[:, 1:]
+                col_x[:, :-1] = col_x[:, 1:]
+                col_v[:, -1] = v[rj]
+                col_x[:, -1] = x[rj]
+                self.vid[pj, :, cj] = col_v
+                self.val[pj, :, cj] = col_x
+                if audit:
+                    np.add.at(self.rejected, pj, 1)
+                    np.add.at(self.emitted, pj, 1)
+                    np.add.at(self.offered, pj, 1)
+                    np.add.at(self.stored, pj, 1)
+        if not ev_pe:
+            empty = np.zeros(0, dtype=np.int64)
+            return coalesced_total, empty, empty, np.zeros(0)
+        pos = np.concatenate(ev_pos)
+        stream_order = np.argsort(pos, kind="stable")
+        return (
+            coalesced_total,
+            np.concatenate(ev_pe)[stream_order],
+            np.concatenate(ev_vid)[stream_order],
+            np.concatenate(ev_val)[stream_order],
+        )
+
+    # ------------------------------------------------------------------
+    # Read path: round-robin emit for the drain phase, batched
+    # ------------------------------------------------------------------
+    def emit_round_robin(
+        self, pes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pop one register from each listed PE (all must be non-empty):
+        the stage-0 entry of its next non-empty column in round-robin
+        order, shifting that column up — exactly
+        :meth:`AggregationPipeline.emit` with ``column=None``."""
+        occupied = self.vid[pes, 0, :] != -1  # prefix-dense columns
+        step = (
+            np.arange(self.num_columns, dtype=np.int64) - self.rr[pes][:, None]
+        ) % self.num_columns
+        col = np.where(occupied, step, self.num_columns).argmin(axis=1)
+        pick = occupied[np.arange(pes.size), col]
+        if not pick.all():
+            raise SimulationError(
+                "emit_round_robin called on an empty register array"
+            )
+        v = self.vid[pes, 0, col].copy()
+        x = self.val[pes, 0, col].copy()
+        col_v = self.vid[pes, :, col]
+        col_x = self.val[pes, :, col]
+        col_v[:, :-1] = col_v[:, 1:]
+        col_x[:, :-1] = col_x[:, 1:]
+        col_v[:, -1] = -1
+        col_x[:, -1] = 0.0
+        self.vid[pes, :, col] = col_v
+        self.val[pes, :, col] = col_x
+        self.rr[pes] = (col + 1) % self.num_columns
+        self.occ[pes] -= 1
+        if self.sanitizer is not None:
+            self.emitted[pes] += 1
+        return v, x
 
 
 # ----------------------------------------------------------------------
@@ -223,20 +476,29 @@ def window_coalesce(
     Used by tests to check that coalescing is *value-preserving*: reducing
     the output stream per vertex equals reducing the input stream per
     vertex.  Pure-Python loop — intended for small streams.
+
+    Semantics match :func:`window_coalesce_count` exactly: an update
+    coalesces iff the previous update to the same vertex (coalesced or
+    not) lies at most ``window`` positions earlier in the *input*
+    stream — every touch refreshes residency.  Consequently
+    ``len(vertex_ids) - len(out_ids) == window_coalesce_count(vertex_ids,
+    window)`` on any stream.
     """
     vertex_ids = np.asarray(vertex_ids)
     values = np.asarray(values, dtype=np.float64)
     out_ids: List[int] = []
     out_vals: List[float] = []
-    # Maps vertex -> index in the output arrays while still in-window.
-    resident: dict[int, int] = {}
-    for vid, val in zip(vertex_ids, values):
+    # Per vertex: (input position of its last touch, output slot).
+    resident: dict[int, Tuple[int, int]] = {}
+    for pos, (vid, val) in enumerate(zip(vertex_ids, values)):
         vid = int(vid)
-        slot = resident.get(vid)
-        if slot is not None and len(out_ids) - slot <= window:
+        entry = resident.get(vid)
+        if entry is not None and pos - entry[0] <= window:
+            slot = entry[1]
             out_vals[slot] = float(reduce_ufunc(out_vals[slot], val))
         else:
-            resident[vid] = len(out_ids)
+            slot = len(out_ids)
             out_ids.append(vid)
             out_vals.append(float(val))
+        resident[vid] = (pos, slot)
     return np.array(out_ids, dtype=np.int64), np.array(out_vals)

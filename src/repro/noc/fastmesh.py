@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.noc.mesh import MeshNetwork, MeshStats
-from repro.noc.packet import Packet
+from repro.noc.packet import Packet, batch_packets
 from repro.noc.router import (
     EAST,
     LOCAL,
@@ -77,16 +77,41 @@ __all__ = [
 #: Python loops are cheap enough that NumPy dispatch overhead dominates.
 AUTO_VECTORIZE_MIN_NODES = 64
 
-#: Arbitration key assigned to absent requests; must exceed every real
-#: round-robin distance (0..NUM_PORTS-1).
-_NO_REQUEST = NUM_PORTS + 1
-
 #: Either cycle-level mesh engine (they are behaviourally identical).
 MeshEngine = Union[MeshNetwork, "FastMeshNetwork"]
 
 #: Input port seen by the downstream router of each output port
 #: (mirrors ``mesh._LINK_OF_OUTPUT``; LOCAL has no link).
 _DOWN_IN = np.array([-1, SOUTH, NORTH, EAST, WEST], dtype=np.int64)
+
+#: ``_WINNER_LUT[r, m]`` — winning input port when the requesting
+#: inputs form bitmask ``m`` and the round-robin pointer is ``r``: the
+#: set bit with the smallest ``(i - r) % NUM_PORTS`` distance, i.e.
+#: exactly ``argmin`` over the per-input keys.  ``m = 0`` (no request)
+#: is never read because such outputs are not granted.
+_WINNER_LUT = np.zeros((NUM_PORTS, 1 << NUM_PORTS), dtype=np.int64)
+for _r in range(NUM_PORTS):
+    for _m in range(1, 1 << NUM_PORTS):
+        _WINNER_LUT[_r, _m] = min(
+            (i for i in range(NUM_PORTS) if _m >> i & 1),
+            key=lambda i, _r=_r: (i - _r) % NUM_PORTS,
+        )
+del _r, _m
+
+#: Base-6 digit weights packing a node's five head-of-line output
+#: requests (each ``-1..4``, stored as ``out + 1``) into one code.
+_POW6 = (6 ** np.arange(NUM_PORTS)).astype(np.int64)
+
+#: ``_MASK_LUT[code, o]`` — bitmask of input ports whose packed request
+#: digit equals output port ``o`` (digit value ``o + 1``; digit 0 is
+#: the "no request" sentinel).
+_MASK_LUT = np.zeros((6**NUM_PORTS, NUM_PORTS), dtype=np.int64)
+for _c in range(6**NUM_PORTS):
+    for _i in range(NUM_PORTS):
+        _d = _c // (6**_i) % 6
+        if _d:
+            _MASK_LUT[_c, _d - 1] |= 1 << _i
+del _c, _i, _d
 
 
 class FastMeshNetwork:
@@ -108,11 +133,21 @@ class FastMeshNetwork:
         buffer_depth: int = 4,
         sanitizer: Optional["SimSanitizer"] = None,
         faults: Optional["FaultSchedule"] = None,
+        lean_packets: bool = False,
     ) -> None:
         if buffer_depth <= 0:
             raise ConfigurationError("buffer_depth must be positive")
         self.topology = topology
         self.buffer_depth = buffer_depth
+        #: With ``lean_packets``, :meth:`inject_batch` is the only entry
+        #: point and no Packet objects are materialised: the packet
+        #: lifecycle lives entirely in the registry arrays,
+        #: :attr:`delivered` stays empty, and :meth:`delivered_arrays` /
+        #: :meth:`delivered_count` are the delivery views.  Stats are
+        #: identical either way; this only drops the per-packet object
+        #: work for callers (the vectorised scatter engine) that never
+        #: read Packet instances.
+        self.lean_packets = lean_packets
         #: Optional runtime invariant checker (see
         #: :mod:`repro.analysis.sanitizer`); None = zero overhead.
         self.sanitizer = sanitizer
@@ -138,13 +173,25 @@ class FastMeshNetwork:
         #: Remaining busy cycles per (node, output port) — multi-flit
         #: serialisation (mirrors the reference's ``_link_busy`` dict).
         self._link_busy = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        #: True once any packet with ``flits > 1`` was registered.
+        #: ``_link_busy`` only ever becomes non-zero through such
+        #: packets, so while this stays False the busy decrement, the
+        #: grant busy-check, and the serialisation branches are skipped
+        #: wholesale (the dominant single-flit workload).
+        self._has_multiflit = False
 
-        # --- packet registry -------------------------------------------
-        self._pkts: List[Packet] = []
+        # --- packet registry (None entries = lean, array-only packets) -
+        self._pkts: List[Optional[Packet]] = []
         cap = 1024
         self._pkt_dst = np.zeros(cap, dtype=np.int64)
         self._pkt_flits = np.ones(cap, dtype=np.int64)
         self._pkt_injected = np.zeros(cap, dtype=np.int64)
+        self._pkt_vertex = np.zeros(cap, dtype=np.int64)
+        self._pkt_value = np.zeros(cap, dtype=np.float64)
+        #: Registry indices of delivered packets, in delivery order
+        #: (parallel to :attr:`delivered`; feeds
+        #: :meth:`delivered_arrays`).
+        self._delivered_pidx: List[int] = []
 
         # --- injection / link-traversal bookkeeping --------------------
         # Per source node: (future-injection heap keyed (when, seq),
@@ -170,13 +217,28 @@ class FastMeshNetwork:
         down[:, WEST] = node - 1
         down[:, EAST] = node + 1
         self._down_node = down
-        # Broadcast helpers for the (node, out, in) arbitration tensors.
-        self._out_ids = np.arange(NUM_PORTS, dtype=np.int64).reshape(
-            1, NUM_PORTS, 1
-        )
-        self._in_ids = np.arange(NUM_PORTS, dtype=np.int64).reshape(
-            1, 1, NUM_PORTS
-        )
+        self._arange_nodes = np.arange(n, dtype=np.int64)
+        # (node, dst) -> XY output port, one gather per cycle instead of
+        # the divmod/where route chain.  Quadratic in nodes, so only
+        # built for meshes where the table stays small (int8, <= 1 MiB).
+        if n <= 1024:
+            nr = self._node_row[:, None]
+            nc = self._node_col[:, None]
+            dr = self._node_row[None, :]
+            dc = self._node_col[None, :]
+            self._route_table = np.where(
+                nc < dc,
+                EAST,
+                np.where(
+                    nc > dc,
+                    WEST,
+                    np.where(
+                        nr < dr, SOUTH, np.where(nr > dr, NORTH, LOCAL)
+                    ),
+                ),
+            ).astype(np.int8)
+        else:
+            self._route_table = None
         self._port_row = np.arange(NUM_PORTS, dtype=np.int64).reshape(
             1, NUM_PORTS
         )
@@ -189,6 +251,10 @@ class FastMeshNetwork:
         ``injected_cycle``).  Injection is retried every cycle until the
         source router's local buffer has space."""
         when = packet.injected_cycle if cycle is None else cycle
+        if self.lean_packets:
+            raise ConfigurationError(
+                "lean_packets networks accept only inject_batch"
+            )
         self._check_node(packet.src)
         self._check_node(packet.dst)
         pidx = self._register(packet)
@@ -202,6 +268,10 @@ class FastMeshNetwork:
     def inject(self, packet: Packet) -> bool:
         """Immediately place a packet into its source router's local
         input buffer.  Returns False when the buffer is full."""
+        if self.lean_packets:
+            raise ConfigurationError(
+                "lean_packets networks accept only inject_batch"
+            )
         self._check_node(packet.src)
         self._check_node(packet.dst)
         src = packet.src
@@ -218,6 +288,110 @@ class FastMeshNetwork:
         self.stats.injected += 1
         return True
 
+    def inject_batch(
+        self,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        vertices: np.ndarray,
+        values: np.ndarray,
+        assume_unique: bool = False,
+    ) -> np.ndarray:
+        """Inject one packet per entry, in argument order; returns the
+        per-entry acceptance mask.
+
+        Equivalent to calling :meth:`inject` sequentially on freshly
+        built packets: entries from the same source compete for that
+        router's remaining local-buffer space in argument order, so
+        entry ``i`` is accepted iff fewer earlier same-source entries
+        fit than there were free slots.  One Packet object is built per
+        *accepted* entry (rejected entries cost nothing), and all
+        registry/buffer updates are batched array writes.
+
+        ``assume_unique=True`` asserts that ``srcs`` has no repeats
+        (one packet per PE per cycle), skipping the duplicate scan.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        if srcs.size == 0:
+            return np.zeros(0, dtype=bool)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        n = self.topology.num_nodes
+        lo = min(int(srcs.min()), int(dsts.min()))
+        hi = max(int(srcs.max()), int(dsts.max()))
+        if lo < 0 or hi >= n:
+            bad = lo if lo < 0 else hi
+            raise ConfigurationError(
+                f"node {bad} outside mesh with {n} nodes"
+            )
+        space = self.buffer_depth - self._count[srcs, LOCAL]
+        # Rank each entry within its source group (argument order) —
+        # rank r fits iff r < free slots, exactly sequential inject().
+        # The scatter engines inject at most one packet per source per
+        # cycle, so the all-unique fast path is the common one.
+        unique = assume_unique or (
+            srcs.size == 1
+            or int(np.bincount(srcs, minlength=n).max()) <= 1
+        )
+        if unique:
+            rank = None
+            ok = space > 0
+        else:
+            order = np.argsort(srcs, kind="stable")
+            sorted_srcs = srcs[order]
+            group_start = np.concatenate(
+                ([True], sorted_srcs[1:] != sorted_srcs[:-1])
+            )
+            starts = np.flatnonzero(group_start)
+            rank = np.empty(srcs.size, dtype=np.int64)
+            rank[order] = np.arange(srcs.size) - starts[
+                np.cumsum(group_start) - 1
+            ]
+            ok = rank < space
+        acc = ok.nonzero()[0]
+        if acc.size == 0:
+            return ok
+        a_src = srcs[acc]
+        a_dst = dsts[acc]
+        a_vtx = np.asarray(vertices, dtype=np.int64)[acc]
+        a_val = np.asarray(values, dtype=np.float64)[acc]
+        cycle = self.cycle
+        n_acc = int(acc.size)
+        base = len(self._pkts)
+        need = base + n_acc
+        if need > self._pkt_dst.size:
+            grow = self._pkt_dst.size
+            while grow < need:
+                grow *= 2
+            self._grow_registry(grow)
+        if self.lean_packets:
+            self._pkts += [None] * n_acc
+        else:
+            self._pkts.extend(
+                batch_packets(
+                    a_src.tolist(),
+                    a_dst.tolist(),
+                    a_vtx.tolist(),
+                    a_val.tolist(),
+                    cycle,
+                )
+            )
+        pidx = np.arange(base, need, dtype=np.int64)
+        self._pkt_dst[base:need] = a_dst
+        self._pkt_flits[base:need] = 1
+        self._pkt_injected[base:need] = cycle
+        self._pkt_vertex[base:need] = a_vtx
+        self._pkt_value[base:need] = a_val
+        slot = self._head[a_src, LOCAL] + self._count[a_src, LOCAL]
+        if rank is not None:
+            slot = slot + rank[acc]
+        slot %= self.buffer_depth
+        self._buf[a_src, LOCAL, slot] = pidx
+        if rank is None:
+            self._count[a_src, LOCAL] += 1
+        else:
+            np.add.at(self._count, (a_src, LOCAL), 1)
+        self.stats.injected += n_acc
+        return ok
+
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
@@ -229,16 +403,19 @@ class FastMeshNetwork:
             self._inject_pending()
         if self._in_flight:
             self._land_in_flight()
-        busy = self._link_busy
-        np.subtract(busy, 1, out=busy)
-        np.maximum(busy, 0, out=busy)
+        if self._has_multiflit:
+            busy = self._link_busy
+            np.subtract(busy, 1, out=busy)
+            np.maximum(busy, 0, out=busy)
 
         count = self._count
-        active = np.flatnonzero(count.sum(axis=1))
+        per_node = count.sum(axis=1)
+        active = per_node.nonzero()[0]
         if active.size:
             self._arbitrate_and_move(active)
-
-        occupancy = int(count.sum())
+            occupancy = int(self._count.sum())
+        else:
+            occupancy = 0
         if occupancy > self.stats.max_occupancy:
             self.stats.max_occupancy = occupancy
         self.cycle += 1
@@ -259,25 +436,51 @@ class FastMeshNetwork:
         occ = count[active] > 0  # (a, 5) ports with a head-of-line packet
         heads = self._buf[active[:, None], self._port_row, self._head[active]]
         dst = self._pkt_dst[heads]
-        dst_row, dst_col = np.divmod(dst, self.topology.cols)
-        row = self._node_row[active][:, None]
-        col = self._node_col[active][:, None]
-        # Dimension-order routing for every head packet at once.
-        out = np.where(
-            col < dst_col,
-            EAST,
-            np.where(
-                col > dst_col,
-                WEST,
-                np.where(
-                    row < dst_row, SOUTH, np.where(row > dst_row, NORTH, LOCAL)
-                ),
-            ),
-        )
         faults = self.faults
         if faults is None:
-            out = np.where(occ, out, -1)
+            # Dimension-order routing: one gather from the (node, dst)
+            # table when available, else the where-chain below.
+            route = self._route_table
+            if route is not None:
+                out = np.where(
+                    occ, route[active[:, None], dst].astype(np.int64), -1
+                )
+            else:
+                dst_row, dst_col = np.divmod(dst, self.topology.cols)
+                row = self._node_row[active][:, None]
+                col = self._node_col[active][:, None]
+                out = np.where(
+                    col < dst_col,
+                    EAST,
+                    np.where(
+                        col > dst_col,
+                        WEST,
+                        np.where(
+                            row < dst_row,
+                            SOUTH,
+                            np.where(row > dst_row, NORTH, LOCAL),
+                        ),
+                    ),
+                )
+                out = np.where(occ, out, -1)
         else:
+            dst_row, dst_col = np.divmod(dst, self.topology.cols)
+            row = self._node_row[active][:, None]
+            col = self._node_col[active][:, None]
+            # Dimension-order routing for every head packet at once.
+            out = np.where(
+                col < dst_col,
+                EAST,
+                np.where(
+                    col > dst_col,
+                    WEST,
+                    np.where(
+                        row < dst_row,
+                        SOUTH,
+                        np.where(row > dst_row, NORTH, LOCAL),
+                    ),
+                ),
+            )
             # Vectorised mirror of repro.faults.route_with_faults: dead
             # XY links deflect one hop along the other axis (toward the
             # destination row, or the mesh interior), a dead deflection
@@ -318,11 +521,17 @@ class FastMeshNetwork:
 
         # Switch allocation: for each (node, out port), the contending
         # input port closest at-or-after the round-robin pointer wins.
-        match = out[:, None, :] == self._out_ids  # (a, out, in)
-        key = (self._in_ids - self._rr[active][:, :, None]) % NUM_PORTS
-        key = np.where(match, key, _NO_REQUEST)
-        winner = key.argmin(axis=2)  # (a, out)
-        granted = match.any(axis=2) & (self._link_busy[active] == 0)
+        # A node's five head requests (each -1..4) form one base-6 code;
+        # _MASK_LUT turns the code into per-output request bitmasks and
+        # _WINNER_LUT resolves each mask against the round-robin
+        # pointer — two table gathers instead of an (active, out, in)
+        # match/argmin tensor pass.
+        code = (out + 1) @ _POW6  # (a,)
+        mask = _MASK_LUT[code]  # (a, out) request bitmasks
+        winner = _WINNER_LUT[self._rr[active], mask]  # (a, out)
+        granted = mask != 0
+        if self._has_multiflit:
+            granted &= self._link_busy[active] == 0
 
         # Split local ejections from link traversals.
         local_nodes = active[granted[:, LOCAL]]
@@ -356,7 +565,13 @@ class FastMeshNetwork:
         self._head[pop_node, pop_in] = (pop_head + 1) % depth
         count[pop_node, pop_in] -= 1
         self._rr[pop_node, pop_out] = (pop_in + 1) % NUM_PORTS
-        serial = np.maximum(self._pkt_flits[pidx], 1) - 1
+        # serial=None means "every popped packet is single-flit", which
+        # is guaranteed while no flits>1 packet was ever registered.
+        serial = (
+            np.maximum(self._pkt_flits[pidx], 1) - 1
+            if self._has_multiflit
+            else None
+        )
         if faults is not None and gnode.size:
             # Committed traversals leaving through a non-XY port are the
             # detours (counted at commit, same as the reference engine).
@@ -381,7 +596,9 @@ class FastMeshNetwork:
 
         if num_local:
             self._deliver(
-                local_nodes, pidx[:num_local], serial[:num_local]
+                local_nodes,
+                pidx[:num_local],
+                None if serial is None else serial[:num_local],
             )
         if gnode.size:
             self._traverse(
@@ -390,30 +607,70 @@ class FastMeshNetwork:
                 down_node,
                 down_in,
                 pidx[num_local:],
-                serial[num_local:],
+                None if serial is None else serial[num_local:],
             )
 
     def _deliver(
-        self, nodes: np.ndarray, pidx: np.ndarray, serial: np.ndarray
+        self,
+        nodes: np.ndarray,
+        pidx: np.ndarray,
+        serial: Optional[np.ndarray],
     ) -> None:
         """Eject packets at their destination (ascending node order —
-        the same intra-cycle delivery order the reference produces)."""
-        delivered_cycle = self.cycle + serial
+        the same intra-cycle delivery order the reference produces).
+        ``serial=None`` asserts every packet is single-flit."""
         self.stats.delivered += nodes.size
-        self.stats.total_latency += int(
-            (delivered_cycle - self._pkt_injected[pidx]).sum()
-        )
-        multi = serial > 0
-        if multi.any():
-            # +1 because the counter ticks at the start of the next
-            # cycle: block exactly `serial` cycles.
-            self._link_busy[nodes[multi], LOCAL] = serial[multi] + 1
+        if serial is None:
+            self.stats.total_latency += int(
+                nodes.size * self.cycle - self._pkt_injected[pidx].sum()
+            )
+            delivered_cycle = None
+        else:
+            delivered_cycle = self.cycle + serial
+            self.stats.total_latency += int(
+                (delivered_cycle - self._pkt_injected[pidx]).sum()
+            )
+            multi = serial > 0
+            if multi.any():
+                # +1 because the counter ticks at the start of the next
+                # cycle: block exactly `serial` cycles.
+                self._link_busy[nodes[multi], LOCAL] = serial[multi] + 1
+        self._delivered_pidx.extend(pidx.tolist())
+        if self.lean_packets:
+            return
         packets = self._pkts
         out = self.delivered
         for i in range(nodes.size):
             packet = packets[pidx[i]]
-            packet.delivered_cycle = int(delivered_cycle[i])
+            packet.delivered_cycle = (
+                self.cycle
+                if delivered_cycle is None
+                else int(delivered_cycle[i])
+            )
             out.append(packet)
+
+    def delivered_count(self) -> int:
+        """Packets delivered so far (lean-mode-safe cursor for
+        :meth:`delivered_arrays`; equals ``len(delivered)`` when packets
+        are materialised)."""
+        return len(self._delivered_pidx)
+
+    def delivered_arrays(
+        self, start: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(dst, vertex, value)`` of ``delivered[start:]`` as arrays.
+
+        Batched read of the delivery stream for the vectorised scatter
+        engine: the same packets as ``self.delivered[start:]``, without
+        touching the Packet objects (three fancy-indexed reads of the
+        registry instead of three attribute loads per packet).
+        """
+        idx = np.asarray(self._delivered_pidx[start:], dtype=np.int64)
+        return (
+            self._pkt_dst[idx],
+            self._pkt_vertex[idx],
+            self._pkt_value[idx],
+        )
 
     def _traverse(
         self,
@@ -422,13 +679,22 @@ class FastMeshNetwork:
         down_node: np.ndarray,
         down_in: np.ndarray,
         pidx: np.ndarray,
-        serial: np.ndarray,
+        serial: Optional[np.ndarray],
     ) -> None:
         """Move packets across links: single-flit packets land in the
         downstream FIFO this cycle; wider ones occupy the link and land
-        once fully serialised (store-and-forward)."""
+        once fully serialised (store-and-forward).  ``serial=None``
+        asserts every packet is single-flit."""
         depth = self.buffer_depth
         self.stats.total_hops += nodes.size
+        if serial is None:
+            slot = (
+                self._head[down_node, down_in]
+                + self._count[down_node, down_in]
+            ) % depth
+            self._buf[down_node, down_in, slot] = pidx
+            self._count[down_node, down_in] += 1
+            return
         single = serial == 0
         arr_node, arr_in, arr_pidx = (
             down_node[single],
@@ -526,15 +792,23 @@ class FastMeshNetwork:
     def _register(self, packet: Packet) -> int:
         pidx = len(self._pkts)
         self._pkts.append(packet)
+        if packet.flits > 1:
+            self._has_multiflit = True
         if pidx >= self._pkt_dst.size:
-            grow = self._pkt_dst.size * 2
-            self._pkt_dst = np.resize(self._pkt_dst, grow)
-            self._pkt_flits = np.resize(self._pkt_flits, grow)
-            self._pkt_injected = np.resize(self._pkt_injected, grow)
+            self._grow_registry(self._pkt_dst.size * 2)
         self._pkt_dst[pidx] = packet.dst
         self._pkt_flits[pidx] = packet.flits
         self._pkt_injected[pidx] = packet.injected_cycle
+        self._pkt_vertex[pidx] = packet.vertex
+        self._pkt_value[pidx] = packet.value
         return pidx
+
+    def _grow_registry(self, grow: int) -> None:
+        self._pkt_dst = np.resize(self._pkt_dst, grow)
+        self._pkt_flits = np.resize(self._pkt_flits, grow)
+        self._pkt_injected = np.resize(self._pkt_injected, grow)
+        self._pkt_vertex = np.resize(self._pkt_vertex, grow)
+        self._pkt_value = np.resize(self._pkt_value, grow)
 
     def _inject_pending(self) -> None:
         """Drain due injections into local buffers, in (when, seq) order
@@ -688,6 +962,7 @@ def make_mesh_network(
     sanitizer: Optional["SimSanitizer"] = None,
     engine: str = "auto",
     faults: Optional["FaultSchedule"] = None,
+    lean_packets: bool = False,
 ) -> MeshEngine:
     """Build a cycle-level mesh simulator.
 
@@ -704,7 +979,10 @@ def make_mesh_network(
             buffer_depth=buffer_depth,
             sanitizer=sanitizer,
             faults=faults,
+            lean_packets=lean_packets,
         )
+    # The reference engine always materialises packets; lean_packets is
+    # a FastMeshNetwork-only optimisation and is ignored here.
     return MeshNetwork(
         topology, buffer_depth=buffer_depth, sanitizer=sanitizer,
         faults=faults,

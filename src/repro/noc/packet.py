@@ -43,3 +43,16 @@ class Packet:
         if self.delivered_cycle is None:
             return None
         return self.delivered_cycle - self.injected_cycle
+
+
+def batch_packets(srcs, dsts, vertices, values, injected_cycle: int):
+    """Build one single-flit :class:`Packet` per entry.
+
+    Shared helper for the batched injection paths, which construct
+    hundreds of thousands of packets per run — one tight listcomp
+    instead of per-call argument marshalling at every call site.
+    """
+    return [
+        Packet(src, dst, vertex, value, injected_cycle)
+        for src, dst, vertex, value in zip(srcs, dsts, vertices, values)
+    ]

@@ -5,9 +5,10 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.noc.aggregation import (
     AggregationPipeline,
+    aggregation_geometry,
     window_coalesce,
     window_coalesce_count,
 )
@@ -189,3 +190,112 @@ class TestWindowModel:
         vids = np.array(vids, dtype=np.int64)
         out_ids, _ = window_coalesce(vids, np.ones(vids.size), 0, np.add)
         assert np.array_equal(out_ids, vids)
+
+
+class TestWindowModelAgreement:
+    """The two Figure 18(a) models must implement ONE semantics:
+    residency refreshed by every touch, gaps measured in input-stream
+    positions (the semantics of ``window_coalesce_count``)."""
+
+    def test_interleaved_stream_regression(self):
+        # [7, 1, 7, 2, 7] with window 2: both gaps between consecutive
+        # touches of vertex 7 are exactly 2, so both coalesce.  The old
+        # functional model measured from the original store position in
+        # the output stream and reported only 1.
+        stream = np.array([7, 1, 7, 2, 7])
+        assert window_coalesce_count(stream, 2) == 2
+        out_ids, out_vals = window_coalesce(stream, np.ones(5), 2, np.add)
+        assert stream.size - out_ids.size == 2
+        assert out_vals[out_ids == 7].sum() == pytest.approx(3.0)
+
+    @given(
+        st.lists(st.integers(0, 9), max_size=60),
+        st.integers(0, 20),
+    )
+    def test_sizes_agree_exactly(self, vids, window):
+        """input_size - output_size == window_coalesce_count, always."""
+        ids = np.array(vids, dtype=np.int64)
+        out_ids, _ = window_coalesce(ids, np.ones(ids.size), window, np.add)
+        assert ids.size - out_ids.size == window_coalesce_count(ids, window)
+
+    def test_sizes_agree_on_large_random_streams(self):
+        rng = np.random.default_rng(11)
+        for trial in range(8):
+            stream = rng.integers(0, 40, 1000)
+            window = int(rng.integers(0, 64))
+            out_ids, _ = window_coalesce(
+                stream, np.ones(stream.size), window, np.add
+            )
+            assert (
+                stream.size - out_ids.size
+                == window_coalesce_count(stream, window)
+            )
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=30))
+    def test_differential_vs_pipeline_infinite_window(self, vids):
+        """In the no-eviction limit the register array IS the window
+        model: a single-column pipeline wide enough to hold every
+        distinct vertex coalesces exactly the repeats an unbounded
+        window does."""
+        pipe = AggregationPipeline(
+            num_stages=8, num_columns=1, reduce_fn=lambda a, b: a + b
+        )
+        for v in vids:
+            assert pipe.offer(v, 1.0) != "rejected"
+        ids = np.array(vids, dtype=np.int64)
+        assert pipe.stats.coalesced == window_coalesce_count(
+            ids, ids.size + 1
+        )
+        drained = dict(pipe.drain())
+        out_ids, out_vals = window_coalesce(
+            ids, np.ones(ids.size), ids.size + 1, np.add
+        )
+        assert drained == {
+            int(v): float(x) for v, x in zip(out_ids, out_vals)
+        }
+
+
+class TestAggregationGeometry:
+    @pytest.mark.parametrize("registers", [1, 4, 9, 16])
+    def test_boundary_capacities_exact(self, registers):
+        stages, cols = aggregation_geometry(registers)
+        assert stages * cols == registers
+
+    def test_paper_default_is_figure11_4x4(self):
+        assert aggregation_geometry(16) == (4, 4)
+
+    def test_nine_registers_not_silently_quantized(self):
+        # The old pipeline_for built a 2x4 array (capacity 8) for 9.
+        stages, cols = aggregation_geometry(9)
+        assert stages * cols == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            aggregation_geometry(0)
+        with pytest.raises(ConfigurationError):
+            aggregation_geometry(-4)
+
+    @given(st.integers(1, 256))
+    def test_capacity_always_equals_request(self, registers):
+        stages, cols = aggregation_geometry(registers)
+        assert stages >= 1 and cols >= 1
+        assert stages * cols == registers
+
+
+class TestDrainInvariant:
+    def test_drain_always_empties(self):
+        pipe = AggregationPipeline(3, 3, reduce_fn=lambda a, b: a + b)
+        for v in range(9):
+            pipe.offer(v * 3, float(v))
+        assert len(pipe.drain()) == pipe.stats.stored
+        assert pipe.occupancy() == 0
+
+    def test_drain_raises_on_corrupted_column(self):
+        """A register stranded below an empty stage violates the
+        prefix-dense invariant; drain must raise, not silently drop."""
+        pipe = AggregationPipeline(3, 1, reduce_fn=lambda a, b: a + b)
+        pipe.offer(5, 1.0)
+        pipe._array[2][0] = pipe._array[0][0]
+        pipe._array[0][0] = None
+        with pytest.raises(SimulationError):
+            pipe.drain()

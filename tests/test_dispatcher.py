@@ -176,3 +176,109 @@ class TestPipelineSchedule:
     def test_rejects_misaligned(self):
         with pytest.raises(ConfigurationError):
             pipeline_schedule([1, 2], [1], enabled=True)
+
+
+class TestRowDispatcherIssueLine:
+    """Degree-aware window edge cases of the cycle simulator's DU
+    (``_RowDispatcher.issue_line``), cross-checked against both the
+    analytic ``pack_lines`` model and the vectorised engine's schedule
+    replayer (``fastsim._row_line_counts``)."""
+
+    @staticmethod
+    def _lines(degrees, line_width, window):
+        from repro.core.cycle_sim import _RowDispatcher
+
+        du = _RowDispatcher(line_width, window)
+        base = 0
+        for v, deg in enumerate(degrees):
+            du.push_vertex(v, np.arange(base, base + deg))
+            base += deg
+        lines = []
+        while du.busy:
+            line = du.issue_line()
+            assert line, "a busy DU must always issue a non-empty line"
+            assert len(line) <= line_width
+            lines.append(line)
+        # Every edge dispatched exactly once, in stream order.
+        flat = [e for line in lines for e in line]
+        assert flat == list(range(base))
+        return lines
+
+    def test_line_fills_exactly_at_vertex_boundary(self):
+        # 2 + 2 fills a width-4 line with no mid-vertex split; the next
+        # vertex starts a fresh line.
+        lines = self._lines([2, 2, 3], line_width=4, window=16)
+        assert [len(l) for l in lines] == [4, 3]
+
+    def test_mid_vertex_resume_across_cycles(self):
+        # A degree-10 vertex spans lines 4+4+2; the trailing remainder
+        # shares its final line with the next vertices because a resumed
+        # vertex does not count against the fresh line's window.
+        lines = self._lines([10, 1, 1], line_width=4, window=16)
+        assert [len(l) for l in lines] == [4, 4, 4]
+
+    def test_mid_vertex_resume_counts_once_against_window(self):
+        # The split vertex resumes at the head of the next line and its
+        # completion consumes one window slot there (not two): line 2
+        # holds the 2-edge remainder plus one fresh vertex, and the
+        # window — not the width — ends the line.
+        lines = self._lines([6, 1, 1], line_width=4, window=2)
+        assert [len(l) for l in lines] == [4, 3, 1]
+
+    def test_window_one_is_one_vertex_per_line(self):
+        lines = self._lines([1, 1, 1], line_width=16, window=1)
+        assert [len(l) for l in lines] == [1, 1, 1]
+
+    def test_window_limits_vertices_per_line(self):
+        lines = self._lines([1, 1, 1, 1], line_width=16, window=2)
+        assert [len(l) for l in lines] == [2, 2]
+
+    @given(
+        st.lists(st.integers(1, 9), min_size=1, max_size=8),
+        st.integers(2, 6),
+    )
+    def test_window_one_matches_pack_lines_exactly(self, degrees, width):
+        """At window=1 the greedy DU and the analytic model coincide:
+        both issue ceil(d / width) lines per vertex."""
+        got = len(self._lines(degrees, width, window=1))
+        want = pack_lines(
+            np.array(degrees),
+            np.zeros(len(degrees), dtype=np.int64),
+            1,
+            width,
+            1,
+        )[0]
+        assert got == int(want)
+
+    @given(
+        st.lists(st.integers(1, 9), min_size=1, max_size=8),
+        st.integers(2, 6),
+        st.integers(1, 6),
+    )
+    def test_edge_conservation_and_line_caps(self, degrees, width, window):
+        """Any workload: every line respects the width cap and the
+        window cap on *newly started* vertices, and the line count is
+        bounded below by the bandwidth bound."""
+        lines = self._lines(degrees, width, window)
+        total = sum(degrees)
+        assert len(lines) >= -(-total // width)
+        # Window cap: count vertices *starting* in each line.
+        starts = np.cumsum([0] + degrees[:-1])
+        for line in lines:
+            started = sum(1 for e in line if e in set(starts.tolist()))
+            assert started <= window
+
+    @given(
+        st.lists(st.integers(1, 9), min_size=1, max_size=8),
+        st.integers(2, 6),
+        st.integers(1, 6),
+    )
+    def test_fastsim_replayer_matches_issue_line(self, degrees, width, window):
+        """The vectorised engine precomputes dispatch by replaying
+        issue_line arithmetically; the per-cycle line sizes must agree
+        edge-for-edge on every workload."""
+        from repro.core.fastsim import _row_line_counts
+
+        lines = self._lines(degrees, width, window)
+        counts = _row_line_counts(degrees, width, window)
+        assert counts == [len(l) for l in lines]
