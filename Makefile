@@ -12,10 +12,12 @@ test:
 test-sanitize:
 	REPRO_SANITIZE=1 PYTHONPATH=src python -m pytest tests/
 
-# Repo-specific static analysis (simlint) plus the strict mypy baseline
-# (skipped gracefully where mypy is not installed).
+# Repo-specific static analysis: simlint per-file rules plus the SIM6xx
+# whole-program analyzer (engine twins, config knobs, dtype contracts),
+# plus the strict mypy baseline (skipped gracefully where mypy is not
+# installed).
 lint:
-	PYTHONPATH=src python -m repro lint
+	PYTHONPATH=src python -m repro lint --project
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy; \
 	else \

@@ -9,6 +9,15 @@ Two complementary halves:
 * :mod:`repro.analysis.sanitizer` — :class:`SimSanitizer`, opt-in
   runtime invariant checks wired into the cycle simulator and NoC
   (enable with ``REPRO_SANITIZE=1``).
+
+A third, whole-program half sits on top of simlint:
+
+* :mod:`repro.analysis.project` — parses the entire package into a
+  cross-module :class:`~repro.analysis.project.ProjectModel` and runs
+  the SIM6xx rules (:mod:`repro.analysis.project_rules`): engine-twin
+  parity, dead/phantom config knobs, stats-field conservation, and
+  dtype contracts.  Run via ``repro lint --project``; accepted
+  findings live in ``analysis-baseline.json``.  See docs/ANALYSIS.md.
 """
 
 from repro.analysis.sanitizer import (
@@ -17,6 +26,16 @@ from repro.analysis.sanitizer import (
     SimSanitizer,
     maybe_sanitizer,
     sanitizer_enabled,
+)
+from repro.analysis.project import (
+    Baseline,
+    BaselineEntry,
+    ProjectModel,
+    ProjectReport,
+    ProjectRule,
+    all_project_rules,
+    analyze_project,
+    load_project,
 )
 from repro.analysis.simlint import (
     FileContext,
@@ -47,4 +66,12 @@ __all__ = [
     "lint_source",
     "render_json",
     "render_text",
+    "Baseline",
+    "BaselineEntry",
+    "ProjectModel",
+    "ProjectReport",
+    "ProjectRule",
+    "all_project_rules",
+    "analyze_project",
+    "load_project",
 ]

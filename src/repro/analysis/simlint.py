@@ -80,6 +80,13 @@ class Finding:
         line: 1-based source line.
         col: 0-based column.
         message: human-readable description of this occurrence.
+        key: stable fingerprint (no line numbers) used to match the
+            finding against ``analysis-baseline.json`` entries; empty
+            for per-file rules, which are never baselined.
+        suppressed: ``True`` when the finding was silenced by an inline
+            suppression comment or an accepted baseline entry.  Silenced
+            findings never affect the exit code but are still reported
+            by the JSON reporter so CI artifacts show the full picture.
     """
 
     rule: str
@@ -88,6 +95,8 @@ class Finding:
     line: int
     col: int
     message: str
+    key: str = ""
+    suppressed: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -216,9 +225,12 @@ def lint_source(
     source: str,
     path: str = "<string>",
     select: Optional[Iterable[str]] = None,
+    keep_suppressed: bool = False,
 ) -> List[Finding]:
-    """Lint one source string; returns unsuppressed findings sorted by
-    location then rule id.
+    """Lint one source string; returns findings sorted by location then
+    rule id.  Suppressed findings are dropped unless ``keep_suppressed``
+    is set, in which case they are returned flagged ``suppressed=True``
+    (the JSON reporter uses this to expose suppression state).
 
     A file that does not parse yields a single synthetic ``SIM000``
     finding rather than crashing the whole run.
@@ -239,23 +251,34 @@ def lint_source(
     findings: List[Finding] = []
     for rule in _select_rules(select):
         for finding in rule.check(ctx):
-            if not ctx.suppressed(finding.rule, finding.line):
+            if ctx.suppressed(finding.rule, finding.line):
+                if keep_suppressed:
+                    findings.append(
+                        dataclasses.replace(finding, suppressed=True)
+                    )
+            else:
                 findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
 
 def lint_file(
-    path: Path, select: Optional[Iterable[str]] = None
+    path: Path,
+    select: Optional[Iterable[str]] = None,
+    keep_suppressed: bool = False,
 ) -> List[Finding]:
     return lint_source(
-        path.read_text(encoding="utf-8"), path=str(path), select=select
+        path.read_text(encoding="utf-8"),
+        path=str(path),
+        select=select,
+        keep_suppressed=keep_suppressed,
     )
 
 
 def lint_paths(
     paths: Iterable[Path],
     select: Optional[Iterable[str]] = None,
+    keep_suppressed: bool = False,
 ) -> Tuple[List[Finding], int]:
     """Lint files and directories (recursively, ``*.py`` only).
 
@@ -270,38 +293,103 @@ def lint_paths(
             files.append(path)
     findings: List[Finding] = []
     for file_path in files:
-        findings.extend(lint_file(file_path, select=select))
+        findings.extend(
+            lint_file(
+                file_path, select=select, keep_suppressed=keep_suppressed
+            )
+        )
     return findings, len(files)
 
 
 # ----------------------------------------------------------------------
 # Reporters
 # ----------------------------------------------------------------------
+def _rule_descriptions(
+    rule_ids: Iterable[str],
+) -> Dict[str, Dict[str, str]]:
+    """Severity + description per rule id, for the JSON reporter.
+
+    Looks up the per-file registry first, then the project-analysis
+    registry; unknown ids (e.g. the synthetic ``SIM000``) fall back to a
+    generic stanza so the reporter never crashes on a finding.
+    """
+    out: Dict[str, Dict[str, str]] = {}
+    for rule_id in sorted(set(rule_ids)):
+        _ensure_rules_loaded()
+        rule = _REGISTRY.get(rule_id)
+        if rule is not None:
+            out[rule_id] = {
+                "severity": rule.severity.value,
+                "description": rule.description,
+            }
+            continue
+        # Project rules live in their own registry (see
+        # repro.analysis.project); imported lazily to keep plain file
+        # linting free of that dependency.
+        from repro.analysis import project as _project
+
+        project_rule = _project.find_project_rule(rule_id)
+        if project_rule is not None:
+            out[rule_id] = {
+                "severity": project_rule.severity.value,
+                "description": project_rule.description,
+            }
+        else:
+            out[rule_id] = {
+                "severity": Severity.ERROR.value,
+                "description": "synthetic finding (no registered rule)",
+            }
+    return out
+
+
 def render_text(findings: Sequence[Finding], files_checked: int) -> str:
     """The human-facing report: one ``path:line:col: RULE message`` per
-    finding plus a one-line summary."""
+    finding plus a summary line with per-rule counts."""
+    active = [f for f in findings if not f.suppressed]
     out = [
         f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.severity}] {f.message}"
-        for f in findings
+        for f in active
     ]
     noun = "file" if files_checked == 1 else "files"
-    if findings:
+    if active:
+        counts: Dict[str, int] = {}
+        for f in active:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{rule_id}: {n}" for rule_id, n in sorted(counts.items())
+        )
         out.append(
-            f"simlint: {len(findings)} finding(s) in {files_checked} {noun}"
+            f"simlint: {len(active)} finding(s) in {files_checked} {noun}"
+            f" ({breakdown})"
         )
     else:
         out.append(f"simlint: clean ({files_checked} {noun} checked)")
     return "\n".join(out)
 
 
-def render_json(findings: Sequence[Finding], files_checked: int) -> str:
-    """Machine-readable report consumed by CI."""
-    return json.dumps(
-        {
-            "schema": "repro-simlint/1",
-            "files_checked": files_checked,
-            "num_findings": len(findings),
-            "findings": [f.to_dict() for f in findings],
-        },
-        indent=2,
-    )
+def render_json(
+    findings: Sequence[Finding],
+    files_checked: int,
+    project: Optional[Dict[str, object]] = None,
+) -> str:
+    """Machine-readable report consumed by CI.
+
+    ``num_findings`` counts every reported finding (including suppressed
+    or baselined ones when the caller kept them); ``num_active`` is the
+    count that gates the exit code.  ``rules`` maps each rule id seen in
+    the report to its severity and description.  ``project`` carries the
+    whole-program analysis summary when ``repro lint --project`` ran.
+    """
+    active = [f for f in findings if not f.suppressed]
+    payload: Dict[str, object] = {
+        "schema": "repro-simlint/1",
+        "files_checked": files_checked,
+        "num_findings": len(findings),
+        "num_active": len(active),
+        "num_suppressed": len(findings) - len(active),
+        "rules": _rule_descriptions(f.rule for f in findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    if project is not None:
+        payload["project"] = project
+    return json.dumps(payload, indent=2)

@@ -228,8 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="repo-specific static analysis (simlint)",
         description="Run the simlint rules (determinism, unit "
-        "discipline, accounting hygiene) over Python sources. "
-        "Exits 1 when any finding survives suppression.",
+        "discipline, accounting hygiene) over Python sources; with "
+        "--project, also the SIM6xx whole-program rules (engine-twin "
+        "parity, config-knob flow, dtype contracts). Exits 2 when any "
+        "error-severity finding survives, 1 for warnings only, 0 when "
+        "clean.",
     )
     lint_p.add_argument(
         "paths",
@@ -255,6 +258,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
+    )
+    lint_p.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program SIM6xx analysis over the "
+        "package (engine twins, config knobs, stats conservation, "
+        "dtype contracts)",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="accepted-findings baseline for --project (default: "
+        "./analysis-baseline.json when present)",
+    )
+    lint_p.add_argument(
+        "--tests-dir",
+        default=None,
+        metavar="DIR",
+        help="assertion roots for the SIM603 conservation rule "
+        "(default: ./tests when present)",
     )
 
     sub.add_parser("datasets", help="list the dataset registry")
@@ -759,7 +783,11 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
 
 
 def cmd_lint(args: argparse.Namespace, out) -> int:
-    """Static analysis gate: non-zero exit on any surviving finding."""
+    """Static analysis gate.
+
+    Exit codes: 2 when any error-severity finding survives suppression
+    and baseline, 1 when only warnings survive, 0 when clean.
+    """
     from pathlib import Path
 
     import repro
@@ -769,15 +797,24 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
         render_json,
         render_text,
     )
+    from repro.analysis.project import (
+        Baseline,
+        all_project_rules,
+        analyze_project,
+        find_project_rule,
+    )
 
     if args.list_rules:
         rows = [
             [rule.rule_id, rule.severity.value, rule.description]
             for rule in all_rules()
+        ] + [
+            [rule.rule_id, rule.severity.value, rule.description]
+            for rule in all_project_rules()
         ]
         print(
             format_table(["Rule", "Severity", "Description"], rows,
-                         title="simlint rules"),
+                         title="simlint rules (SIM6xx need --project)"),
             file=out,
         )
         return 0
@@ -792,10 +829,69 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
         if args.select
         else None
     )
-    findings, files_checked = lint_paths(paths, select=select)
-    renderer = render_json if args.format_ == "json" else render_text
-    print(renderer(findings, files_checked), file=out)
-    return 1 if findings else 0
+    file_select = None
+    project_select = None
+    if select is not None:
+        file_select = [
+            r for r in select if find_project_rule(r) is None
+        ]
+        project_select = [
+            r for r in select if find_project_rule(r) is not None
+        ]
+    keep_suppressed = args.format_ == "json"
+    findings, files_checked = lint_paths(
+        paths, select=file_select, keep_suppressed=keep_suppressed
+    )
+    project_summary = None
+    if args.project:
+        package_root = paths[0]
+        if not package_root.is_dir():
+            package_root = package_root.parent
+        baseline = None
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else Path("analysis-baseline.json")
+        )
+        if baseline_path.exists():
+            baseline = Baseline.from_file(baseline_path)
+        elif args.baseline:
+            print(f"error: baseline {baseline_path} not found", file=out)
+            return 2
+        tests_dir = (
+            Path(args.tests_dir) if args.tests_dir else Path("tests")
+        )
+        assertion_roots = [tests_dir] if tests_dir.exists() else []
+        report = analyze_project(
+            package_root,
+            assertion_roots=assertion_roots,
+            baseline=baseline,
+            select=project_select,
+        )
+        findings = findings + report.findings
+        if keep_suppressed:
+            findings = findings + report.baselined
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        project_summary = report.summary()
+    if args.format_ == "json":
+        print(
+            render_json(findings, files_checked, project=project_summary),
+            file=out,
+        )
+    else:
+        print(render_text(findings, files_checked), file=out)
+        if project_summary is not None:
+            print(
+                "project analysis: "
+                f"{project_summary['modules_checked']} module(s), "
+                f"{project_summary['num_findings']} finding(s), "
+                f"{project_summary['num_baselined']} baselined",
+                file=out,
+            )
+    active = [f for f in findings if not f.suppressed]
+    if any(f.severity == "error" for f in active):
+        return 2
+    return 1 if active else 0
 
 
 def cmd_datasets(args: argparse.Namespace, out) -> int:

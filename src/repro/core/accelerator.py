@@ -428,6 +428,16 @@ class ScalaGraph:
                     f"{cfg.spd.capacity_vertices:,} (Section IV-A: DOM's "
                     "O(N*K) storage)"
                 )
+            footprint = (
+                graph.num_vertices * cfg.vertex_bytes
+                + graph.num_edges * cfg.edge_bytes
+            )
+            if footprint > cfg.hbm.total_capacity_bytes:
+                raise CapacityError(
+                    f"graph footprint {footprint:,} B exceeds the "
+                    f"{cfg.hbm.total_capacity_bytes:,} B of HBM on the "
+                    f"card (Section V-A: two 4 GB stacks)"
+                )
         return slice_intervals(graph, cfg.spd.capacity_vertices)
 
     def _offchip_vertex_multiplier(self) -> float:

@@ -370,7 +370,7 @@ class CycleAccurateScalaGraph:
         touched_mask: np.ndarray,
         stats: CycleStats,
         max_cycles: int,
-        engine: Optional[str] = None,
+        engine: str,
     ) -> int:
         cfg = self.config
         prof = self.profiler
@@ -436,7 +436,7 @@ class CycleAccurateScalaGraph:
             self.topology,
             buffer_depth=self.noc_buffer_depth,
             sanitizer=self.sanitizer,
-            engine=engine if engine is not None else cfg.noc_engine,
+            engine=engine,
             faults=self.faults,
         )
         # One reusable timer object: entered every loop iteration, so it

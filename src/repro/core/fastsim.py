@@ -71,6 +71,31 @@ __all__ = [
 #: fixed cost of whole-array operations outweighs the loop savings.
 AUTO_CYCLE_ENGINE_MIN_NODES = 64
 
+#: Engine-twin declaration consumed by the whole-program analyzer
+#: (:mod:`repro.analysis.project`).  The reference scatter phase lives
+#: inside ``CycleAccurateScalaGraph``, which also owns the
+#: engine-agnostic driver loop (iteration control, apply phase, report
+#: assembly) — ``reference_scope`` restricts the SIM601 comparison to
+#: the parts this module actually replaces.
+ENGINE_TWIN = {
+    "pair": "cycle-engine",
+    "reference": "repro.core.cycle_sim",
+    "reference_scope": [
+        "CycleAccurateScalaGraph._scatter_phase",
+        "_RowDispatcher",
+    ],
+}
+
+#: Declared dtype contract for the struct-of-arrays PE FIFO state
+#: (:class:`_PEFifoArray`).  Audited by SIM604 at every allocation
+#: call site, including the reallocation in ``_grow_to``.
+BUFFER_DTYPES = {
+    "vid": "int64",
+    "val": "float64",
+    "head": "int64",
+    "count": "int64",
+}
+
 
 def resolve_cycle_engine(engine: str, topology: MeshTopology) -> str:
     """Resolve a scatter-engine name (``auto``/``reference``/

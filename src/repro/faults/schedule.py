@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from repro.noc.router import (
     xy_output_port,
 )
 from repro.noc.topology import MeshTopology
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.config import ScalaGraphConfig
 
 __all__ = [
     "FaultConfig",
@@ -347,7 +350,9 @@ class FaultSchedule:
         dead = sum(o.end - o.start for o in self.link_outages)
         return max(0.01, 1.0 - dead / (self._num_links * span))
 
-    def apply_to_config(self, config):
+    def apply_to_config(
+        self, config: "ScalaGraphConfig"
+    ) -> "ScalaGraphConfig":
         """A :class:`~repro.core.config.ScalaGraphConfig` copy with the
         HBM derated and the analytic NoC link bandwidth scaled by
         :attr:`link_availability` (works on any config dataclass with
@@ -366,7 +371,7 @@ class FaultSchedule:
     # ------------------------------------------------------------------
     # Replay determinism
     # ------------------------------------------------------------------
-    def describe(self) -> Dict:
+    def describe(self) -> Dict[str, object]:
         """JSON-able, fully ordered description of the whole campaign."""
         return {
             "schema": "repro-faults/1",
@@ -394,7 +399,7 @@ def route_with_faults(
     topology: MeshTopology,
     node: int,
     dst: int,
-    dead_row,
+    dead_row: np.ndarray,
 ) -> Tuple[Optional[int], bool]:
     """Graceful-degradation routing decision for one head-of-line packet.
 

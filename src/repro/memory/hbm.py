@@ -60,11 +60,18 @@ class HBMConfig:
     def bandwidth_per_channel_gbs(self) -> float:
         return self.total_bandwidth_gbs / self.num_pseudo_channels
 
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Aggregate card capacity; the accelerator's capacity guard
+        rejects graphs whose off-chip footprint exceeds it."""
+        return self.num_stacks * self.capacity_bytes_per_stack
+
     @classmethod
     def unbounded(cls) -> "HBMConfig":
-        """A config with effectively infinite bandwidth — used by the
-        Figure 21 'sufficient off-chip bandwidth' scaling study."""
-        return cls(total_bandwidth_gbs=1e9)
+        """A config with effectively infinite bandwidth and capacity —
+        used by the Figure 21 'sufficient off-chip bandwidth' scaling
+        study, which sizes meshes far past one physical card."""
+        return cls(total_bandwidth_gbs=1e9, capacity_bytes_per_stack=10**18)
 
     def with_disabled_channels(self, disabled: int) -> "HBMConfig":
         """A copy with ``disabled`` pseudo channels offline.

@@ -113,6 +113,35 @@ for _c in range(6**NUM_PORTS):
             _MASK_LUT[_c, _d - 1] |= 1 << _i
 del _c, _i, _d
 
+#: Engine-twin declaration consumed by the whole-program analyzer
+#: (:mod:`repro.analysis.project`).  SIM601 audits that this module and
+#: the reference mesh consume the same config fields, emit/read the
+#: same ``MeshStats`` fields, and query the same fault *kinds* (the
+#: query methods may differ — the reference reroutes per-packet via
+#: ``route`` while this engine masks whole links via ``link_dead_mask``;
+#: both consume link-outage faults).
+ENGINE_TWIN = {
+    "pair": "noc-engine",
+    "reference": "repro.noc.mesh",
+}
+
+#: Declared dtype contract for the struct-of-arrays router state.
+#: SIM604 checks every ``np.zeros/full/empty/ones`` call site assigned
+#: to these attributes against this table, so a dtype change must be
+#: made here — visibly — rather than slipping through one allocation.
+BUFFER_DTYPES = {
+    "_buf": "int64",
+    "_head": "int64",
+    "_count": "int64",
+    "_rr": "int64",
+    "_link_busy": "int64",
+    "_pkt_dst": "int64",
+    "_pkt_flits": "int64",
+    "_pkt_injected": "int64",
+    "_pkt_vertex": "int64",
+    "_pkt_value": "float64",
+}
+
 
 class FastMeshNetwork:
     """A ``rows x cols`` mesh advanced one cycle at a time, vectorised.

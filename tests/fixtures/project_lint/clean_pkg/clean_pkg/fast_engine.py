@@ -1,0 +1,33 @@
+"""Vectorized engine: same knobs, same stats, masks dead links whole
+(same link-outage fault kind as the reference's per-packet reroute)."""
+
+import numpy as np
+
+from clean_pkg.config import EngineConfig
+from clean_pkg.stats import EngineStats
+
+ENGINE_TWIN = {
+    "pair": "fixture-engine",
+    "reference": "clean_pkg.ref_engine",
+}
+
+BUFFER_DTYPES = {
+    "_vid": "int64",
+    "_val": "float64",
+}
+
+
+class FastEngine:
+    def __init__(self, config: EngineConfig, faults=None) -> None:
+        self.config = config
+        self.faults = faults
+        self.stats = EngineStats()
+        self._vid = np.zeros(config.depth, dtype=np.int64)
+        self._val = np.zeros(config.depth, dtype=np.float64)
+
+    def run(self) -> None:
+        cfg = self.config
+        if self.faults is not None:
+            self.faults.link_dead_mask(self.stats.cycles)
+        self.stats.cycles += cfg.window
+        self.stats.delivered += cfg.depth

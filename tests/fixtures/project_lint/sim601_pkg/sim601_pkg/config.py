@@ -1,0 +1,16 @@
+"""Config knobs consumed by both fixture engines."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the fixture engine pair.
+
+    Attributes:
+        window: coalescing window consumed by both engines.
+        depth: buffer depth consumed by both engines.
+    """
+
+    window: int = 4
+    depth: int = 8

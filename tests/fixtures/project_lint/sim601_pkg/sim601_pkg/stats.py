@@ -1,0 +1,16 @@
+"""Stats emitted by both fixture engines."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStats:
+    """Counters both engines must emit identically.
+
+    Attributes:
+        cycles: cycles simulated.
+        delivered: updates delivered.
+    """
+
+    cycles: int = 0
+    delivered: int = 0

@@ -1,0 +1,7 @@
+"""Assertion root for the clean fixture: every emitted stats field is
+compared between the twins (the SIM603 'asserted' set)."""
+
+
+def check_equivalence(ref, fast):
+    assert ref.stats.cycles == fast.stats.cycles
+    assert ref.stats.delivered == fast.stats.delivered

@@ -1,0 +1,18 @@
+"""Stats emitted by both fixture engines."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStats:
+    """Counters both engines must emit identically.
+
+    Attributes:
+        cycles: cycles simulated.
+        delivered: updates delivered.
+        dropped: DRIFT — written by both engines, asserted by nothing.
+    """
+
+    cycles: int = 0
+    delivered: int = 0
+    dropped: int = 0

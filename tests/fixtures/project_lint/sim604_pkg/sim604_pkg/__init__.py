@@ -1,0 +1,1 @@
+"""Fixture: a clean engine-twin pair (zero SIM6xx findings)."""

