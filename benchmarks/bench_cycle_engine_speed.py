@@ -1,4 +1,4 @@
-"""Reference vs vectorized scatter-phase engine speed (PR 6 artifact).
+"""Reference vs vectorized scatter-phase engine speed (PR 9 artifact).
 
 Runs the *end-to-end* cycle-accurate simulator — dispatcher queues,
 aggregation arrays, NoC, SPD retire — twice over an identical R-MAT
@@ -10,8 +10,12 @@ agree stat-for-stat and property-for-property.
 
 The machine-readable summary is written twice: to
 ``benchmarks/results/bench_cycle_engine_speed.json`` like every other
-bench, and to the repo-root ``BENCH_PR6.json`` consumed by the perf
-trajectory and the CI perf-smoke job.
+bench, and to the repo-root ``BENCH_PR9.json`` consumed by the perf
+trajectory and the CI perf-smoke job.  The committed ``BENCH_PR6.json``
+is kept as the frozen PR 6 baseline: when present, the 16x16 and 32x32
+vectorized throughputs are compared against it and the ratios recorded
+(``speedup_vs_pr6``) — measured on the bench host, so cross-machine
+ratios carry that caveat.
 
 Knobs (environment variables):
 
@@ -24,9 +28,14 @@ Knobs (environment variables):
   (default 1.0: the vectorized engine must never lose; the committed
   repo-root artifact is generated at the defaults, where it clears 5x).
 * ``REPRO_CYCLE_BENCH_LARGE`` — ``RxC`` mesh for the vectorized-only
-  scaling run (default ``32x32``; empty string skips it).
+  scaling run (default ``32x32``; empty string skips it).  Timed with
+  the same interleaved best-of-N discipline as the 16x16 pair.
 * ``REPRO_CYCLE_BENCH_LARGE_BUDGET`` — wall-clock budget in seconds for
   the large run (default 300, the CI perf-smoke timeout).
+* ``REPRO_CYCLE_BENCH_PROBE`` — ``RxC`` mesh for the single budgeted
+  paper-scale probe (default ``48x48``; empty string skips it).
+* ``REPRO_CYCLE_BENCH_PROBE_BUDGET`` — wall-clock budget in seconds
+  for the probe (default 300).
 """
 
 from __future__ import annotations
@@ -44,6 +53,9 @@ from repro.core.config import ScalaGraphConfig
 from repro.core.cycle_sim import CycleAccurateScalaGraph
 from repro.graph.generators import rmat_graph
 
+BENCH_PR9 = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+#: Frozen PR 6 numbers (committed artifact) used as the comparison
+#: baseline; never rewritten by this bench.
 BENCH_PR6 = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 
 SCALE = int(os.environ.get("REPRO_CYCLE_BENCH_SCALE", "14"))
@@ -54,6 +66,23 @@ LARGE = os.environ.get("REPRO_CYCLE_BENCH_LARGE", "32x32").strip()
 LARGE_BUDGET = float(
     os.environ.get("REPRO_CYCLE_BENCH_LARGE_BUDGET", "300")
 )
+PROBE = os.environ.get("REPRO_CYCLE_BENCH_PROBE", "48x48").strip()
+PROBE_BUDGET = float(
+    os.environ.get("REPRO_CYCLE_BENCH_PROBE_BUDGET", "300")
+)
+
+
+def _pr6_baseline(mesh: str) -> float:
+    """Committed PR 6 vectorized cycles/sec for ``mesh`` (0.0 when the
+    baseline artifact or mesh entry is missing)."""
+    if not BENCH_PR6.exists():
+        return 0.0
+    payload = json.loads(BENCH_PR6.read_text())
+    for entry in payload.get("meshes", []):
+        if entry.get("mesh") == mesh:
+            vec = entry.get("engines", {}).get("vectorized", {})
+            return float(vec.get("cycles_per_second", 0.0))
+    return 0.0
 
 
 def _fingerprint(result):
@@ -111,9 +140,10 @@ def test_cycle_engine_speed():
         f"{MIN_SPEEDUP:.1f}x floor"
     )
 
+    pr6_16 = _pr6_baseline("16x16")
     payload = {
-        "schema": "repro-bench-cycle-engine/1",
-        "pr": 6,
+        "schema": "repro-bench-cycle-engine/2",
+        "pr": 9,
         "workload": {
             "graph": f"rmat(scale={SCALE}, edge_factor={EDGE_FACTOR}, seed=1)",
             "vertices": int(graph.num_vertices),
@@ -138,6 +168,8 @@ def test_cycle_engine_speed():
                     },
                 },
                 "speedup": speedup,
+                "pr6_vectorized_cycles_per_second": pr6_16,
+                "speedup_vs_pr6": (vec_cps / pr6_16) if pr6_16 else None,
             }
         ],
     }
@@ -151,37 +183,79 @@ def test_cycle_engine_speed():
 
     # Vectorized-only scaling run: a 32x32 mesh (1024 PEs) must finish
     # the same workload inside the perf-smoke wall-clock budget — the
-    # reference engine cannot come close at this size.
+    # reference engine cannot come close at this size.  Best-of-N like
+    # the 16x16 pair, so the PR 6 ratio is not a one-shot noise draw.
     if LARGE:
         lrows, _, lcols = LARGE.partition("x")
-        lresult, lelapsed = _timed_run(
-            "vectorized", int(lrows), int(lcols), graph
-        )
-        assert lelapsed <= LARGE_BUDGET, (
-            f"{LARGE} vectorized run took {lelapsed:.1f}s "
+        lbest = float("inf")
+        for _ in range(REPEATS):
+            lresult, lelapsed = _timed_run(
+                "vectorized", int(lrows), int(lcols), graph
+            )
+            lbest = min(lbest, lelapsed)
+        assert lbest <= LARGE_BUDGET, (
+            f"{LARGE} vectorized run took {lbest:.1f}s "
             f"(budget {LARGE_BUDGET:.0f}s)"
         )
         lcycles = lresult.stats.total_cycles
+        lcps = lcycles / lbest
+        pr6_large = _pr6_baseline(LARGE)
         payload["meshes"].append(
             {
                 "mesh": LARGE,
                 "cycles": lcycles,
                 "engines": {
                     "vectorized": {
-                        "seconds": lelapsed,
-                        "cycles_per_second": lcycles / lelapsed,
+                        "seconds": lbest,
+                        "cycles_per_second": lcps,
                     }
                 },
                 "budget_seconds": LARGE_BUDGET,
+                "pr6_vectorized_cycles_per_second": pr6_large,
+                "speedup_vs_pr6": (lcps / pr6_large) if pr6_large else None,
+            }
+        )
+        vs = f" ({lcps / pr6_large:.2f}x vs PR6)" if pr6_large else ""
+        lines.append(
+            f"{LARGE}  vectorized {lbest:>8.2f} "
+            f"{lcps:>11,.0f}   (budget {LARGE_BUDGET:.0f}s){vs}"
+        )
+
+    # Budgeted paper-scale probe: one shot at a 48x48 mesh (2304 PEs),
+    # no baseline to compare against — the point is that the size runs
+    # at all inside a CI-sized budget.
+    if PROBE:
+        prows, _, pcols = PROBE.partition("x")
+        presult, pelapsed = _timed_run(
+            "vectorized", int(prows), int(pcols), graph
+        )
+        assert pelapsed <= PROBE_BUDGET, (
+            f"{PROBE} vectorized probe took {pelapsed:.1f}s "
+            f"(budget {PROBE_BUDGET:.0f}s)"
+        )
+        pcycles = presult.stats.total_cycles
+        payload["meshes"].append(
+            {
+                "mesh": PROBE,
+                "cycles": pcycles,
+                "engines": {
+                    "vectorized": {
+                        "seconds": pelapsed,
+                        "cycles_per_second": pcycles / pelapsed,
+                    }
+                },
+                "budget_seconds": PROBE_BUDGET,
+                "probe": True,
             }
         )
         lines.append(
-            f"{LARGE}  vectorized {lelapsed:>8.2f} "
-            f"{lcycles / lelapsed:>11,.0f}   (budget {LARGE_BUDGET:.0f}s)"
+            f"{PROBE}  vectorized {pelapsed:>8.2f} "
+            f"{pcycles / pelapsed:>11,.0f}   (probe, budget "
+            f"{PROBE_BUDGET:.0f}s)"
         )
 
     emit("bench_cycle_engine_speed", "\n".join(lines))
     emit_json("bench_cycle_engine_speed", payload)
-    BENCH_PR6.write_text(
+    BENCH_PR9.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

@@ -260,9 +260,10 @@ class SimSanitizer:
                 cycle=cycle,
             )
         # Prefix density: a register below an empty stage of the same
-        # column would make the systolic read path drop it.
+        # column would make the systolic read path drop it.  ``vid`` is
+        # (pe, column, stage) — stages on the last axis.
         occupied = batch.vid != -1
-        dense = occupied[:, 1:, :] <= occupied[:, :-1, :]
+        dense = occupied[:, :, 1:] <= occupied[:, :, :-1]
         if not dense.all():
             pe = int((~dense).any(axis=(1, 2)).argmax())
             self.fail(

@@ -181,6 +181,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(the cycle-level tile simulator needs small graphs)",
     )
     bench_p.add_argument(
+        "--profile-top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print only the N most expensive profiler blocks per "
+        "model (sorted by total wall-clock, default: all, in name "
+        "order)",
+    )
+    bench_p.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable summary (timers, counters, "
@@ -740,8 +749,21 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             file=out,
         )
     for label, profile in summary["profiles"].items():
-        print(f"\n{label} profile:", file=out)
-        for name, entry in profile["timers"].items():
+        timers = list(profile["timers"].items())
+        if args.profile_top is not None:
+            # Hot-spot view: most expensive blocks first, truncated.
+            timers.sort(
+                key=lambda item: item[1]["total_seconds"], reverse=True
+            )
+            shown, timers = timers[:args.profile_top], timers
+            hidden = len(timers) - len(shown)
+            timers = shown
+            title = f"{label} profile (top {len(shown)}"
+            title += f" of {len(shown) + hidden}):" if hidden else "):"
+        else:
+            title = f"{label} profile:"
+        print(f"\n{title}", file=out)
+        for name, entry in timers:
             print(
                 f"  {name:32s} {entry['calls']:>8d} calls "
                 f"{entry['total_seconds'] * 1e3:>10.2f} ms",

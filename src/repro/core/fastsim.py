@@ -71,6 +71,9 @@ __all__ = [
 #: fixed cost of whole-array operations outweighs the loop savings.
 AUTO_CYCLE_ENGINE_MIN_NODES = 64
 
+#: Shared empty PE-index array for scalar-total fast paths.
+_EMPTY_PES = np.zeros(0, dtype=np.int64)
+
 #: Engine-twin declaration consumed by the whole-program analyzer
 #: (:mod:`repro.analysis.project`).  The reference scatter phase lives
 #: inside ``CycleAccurateScalaGraph``, which also owns the
@@ -244,7 +247,17 @@ class _PEFifoArray:
     ``append`` preserves the argument order for repeated PEs.
     """
 
-    __slots__ = ("num_pes", "cap", "vid", "val", "head", "count")
+    __slots__ = (
+        "num_pes",
+        "cap",
+        "vid",
+        "val",
+        "head",
+        "count",
+        "_vid_flat",
+        "_val_flat",
+        "_total",
+    )
 
     def __init__(self, num_pes: int, capacity: int = 16) -> None:
         self.num_pes = num_pes
@@ -253,22 +266,41 @@ class _PEFifoArray:
         self.val = np.zeros((num_pes, capacity))
         self.head = np.zeros(num_pes, dtype=np.int64)
         self.count = np.zeros(num_pes, dtype=np.int64)
+        # Flat views for single-array gathers/scatters (row pe, slot s
+        # lives at pe * cap + s); rebuilt on every reallocation.
+        self._vid_flat = self.vid.reshape(-1)
+        self._val_flat = self.val.reshape(-1)
+        # Scalar occupancy mirror of count.sum(), maintained by
+        # append/drop so per-cycle emptiness checks cost no reduction.
+        self._total = 0
 
     def total(self) -> int:
-        return int(self.count.sum())
+        return self._total
 
     def _grow_to(self, needed: int) -> None:
-        new_cap = self.cap
-        while new_cap < needed:
-            new_cap *= 2
-        rows = np.arange(self.num_pes)[:, None]
-        idx = (self.head[:, None] + np.arange(self.cap)[None, :]) % self.cap
+        # Geometric growth straight from the needed size (next power of
+        # two, but never less than one doubling) — no re-loop from the
+        # current cap.
+        new_cap = max(self.cap * 2, 1 << (int(needed) - 1).bit_length())
         vid = np.zeros((self.num_pes, new_cap), dtype=np.int64)
         val = np.zeros((self.num_pes, new_cap))
-        vid[:, : self.cap] = self.vid[rows, idx]
-        val[:, : self.cap] = self.val[rows, idx]
+        if self.head.any():
+            rows = np.arange(self.num_pes)[:, None]
+            idx = (
+                self.head[:, None] + np.arange(self.cap)[None, :]
+            ) % self.cap
+            vid[:, : self.cap] = self.vid[rows, idx]
+            val[:, : self.cap] = self.val[rows, idx]
+            self.head[:] = 0
+        else:
+            # Every ring already starts at offset 0 (the common growth
+            # path: capacity outgrown before any pop) — plain copy, no
+            # modular gather.
+            vid[:, : self.cap] = self.vid
+            val[:, : self.cap] = self.val
         self.vid, self.val = vid, val
-        self.head[:] = 0
+        self._vid_flat = vid.reshape(-1)
+        self._val_flat = val.reshape(-1)
         self.cap = new_cap
 
     def append(
@@ -283,14 +315,19 @@ class _PEFifoArray:
         if assume_unique:
             # Caller asserts no repeated PEs (e.g. flatnonzero-derived
             # index sets): touch only the listed rows.
-            cnt = self.count[pes]
+            cnt = self.count.take(pes)
             if int(cnt.max()) >= self.cap:
                 self._grow_to(int(cnt.max()) + 1)
-                cnt = self.count[pes]
-            pos = (self.head[pes] + cnt) % self.cap
-            self.vid[pes, pos] = vids
-            self.val[pes, pos] = vals
+                cnt = self.count.take(pes)
+            pos = self.head.take(pes)
+            pos += cnt
+            pos %= self.cap
+            idx = pes * self.cap
+            idx += pos
+            self._vid_flat[idx] = vids
+            self._val_flat[idx] = vals
             self.count[pes] = cnt + 1
+            self._total += int(pes.size)
             return
         mult = np.bincount(pes, minlength=self.num_pes)
         deepest = int((self.count + mult).max())
@@ -298,28 +335,42 @@ class _PEFifoArray:
             self._grow_to(deepest)
         if pes.size == 1 or int(mult.max()) <= 1:
             # All-unique fast path: no intra-call ordering to resolve.
-            pos = (self.head[pes] + self.count[pes]) % self.cap
-            self.vid[pes, pos] = vids
-            self.val[pes, pos] = vals
+            pos = (self.head.take(pes) + self.count.take(pes)) % self.cap
+            idx = pes * self.cap + pos
+            self._vid_flat[idx] = vids
+            self._val_flat[idx] = vals
         else:
             order = np.argsort(pes, kind="stable")
             sp = pes[order]
             rank = run_ranks(sp)
-            pos = (self.head[sp] + self.count[sp] + rank) % self.cap
-            self.vid[sp, pos] = vids[order]
-            self.val[sp, pos] = vals[order]
+            pos = (self.head.take(sp) + self.count.take(sp) + rank) % self.cap
+            idx = sp * self.cap + pos
+            self._vid_flat[idx] = vids[order]
+            self._val_flat[idx] = vals[order]
         self.count += mult
+        self._total += int(pes.size)
 
     def peek(self, pes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        h = self.head[pes]
-        return self.vid[pes, h], self.val[pes, h]
+        idx = pes * self.cap
+        idx += self.head.take(pes)
+        return self._vid_flat.take(idx), self._val_flat.take(idx)
 
     def pop(self, pes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Pop the head of each listed FIFO (PEs must be unique)."""
         v, x = self.peek(pes)
-        self.head[pes] = (self.head[pes] + 1) % self.cap
-        self.count[pes] -= 1
+        self.drop(pes)
         return v, x
+
+    def drop(self, pes: np.ndarray) -> None:
+        """Advance the head of each listed FIFO without gathering the
+        values — for callers that already hold them from :meth:`peek`
+        (PEs must be unique)."""
+        h = self.head.take(pes)
+        h += 1
+        h %= self.cap
+        self.head[pes] = h
+        self.count[pes] -= 1
+        self._total -= int(pes.size)
 
 
 # ----------------------------------------------------------------------
@@ -405,11 +456,41 @@ def scatter_phase_fast(
         if delivered_arrays is not None
         else lambda: len(network.delivered)
     )
+    fast_net = delivered_arrays is not None
+
+    # Vertex-home lookup table: one mapping call up front turns the two
+    # per-cycle ``mapping.home`` calls into plain array gathers.
+    home_all = np.asarray(
+        mapping.home(np.arange(graph.num_vertices, dtype=np.int64)),
+        dtype=np.int64,
+    )
+    # Preallocated per-cycle occupancy masks (steady-state cycles reuse
+    # these instead of allocating fresh boolean temporaries).
+    fifo_has = np.empty(num_pes, dtype=bool)
+    pipe_has = np.empty(num_pes, dtype=bool) if agg is not None else None
+    spd_has = np.empty(num_pes, dtype=bool)
+    emit_sel = np.empty(num_pes, dtype=bool)
 
     total_edges = int(src.size)
     cycle = 0
     edges_remaining = total_edges
+    drained_early = False
     while True:
+        # Drain-mode hand-off: once the dispatcher schedule is done and
+        # both the egress FIFOs and aggregation registers are empty,
+        # stages 1-2 can never act again — nothing refills `out`
+        # (dispatch is exhausted, the registers are empty, and SPD
+        # traffic never re-enters the egress path) — so the rest of the
+        # phase is mesh traffic landing and retiring.  The batched loop
+        # below the main one runs exactly stages 3-4 per cycle,
+        # cycle-for-cycle identical, freed of the dispatch/egress glue.
+        if (
+            cycle >= n_dispatch_cycles
+            and out.total() == 0
+            and (agg is None or agg.total_occupancy() == 0)
+        ):
+            drained_early = True
+            break
         progressed = False
         pe_stall_hit = False
         net_degraded_before = network.stats.degraded_cycles
@@ -440,8 +521,15 @@ def scatter_phase_fast(
         #    which is the batched equivalent of the reference's
         #    requeue-at-head on backpressure.
         drain_pipelines = cycle >= n_dispatch_cycles - 1
-        fifo_has = out.count > 0
-        pipe_has = agg.occ > 0 if agg is not None else None
+        out_any = out.total() > 0
+        if out_any:
+            np.greater(out.count, 0, out=fifo_has)
+        else:
+            # Scalar-total fast path: every egress FIFO is empty, so
+            # the mask compute and nonzero scan below are skipped.
+            fifo_has.fill(False)
+        if agg is not None:
+            np.greater(agg.occ, 0, out=pipe_has)
         if stall is None:
             can_act = None  # all PEs act
             fifo_sel = fifo_has
@@ -453,53 +541,76 @@ def scatter_phase_fast(
                 pe_stall_hit = True
             can_act = ~stall
             fifo_sel = fifo_has & can_act
-        fifo_pes = fifo_sel.nonzero()[0]
+        fifo_pes = fifo_sel.nonzero()[0] if out_any else _EMPTY_PES
         if fifo_pes.size:
             progressed = True
             v_f, x_f = out.peek(fifo_pes)
-            t_f = np.asarray(mapping.home(v_f), dtype=np.int64)
+            t_f = home_all.take(v_f)
             local = t_f == fifo_pes
-            local_pes = fifo_pes[local]
-            if local_pes.size:
-                lv, lx = out.pop(local_pes)
-                spd.append(local_pes, lv, lx, assume_unique=True)
-            remote = (~local).nonzero()[0]
-            if remote.size:
-                r_pes = fifo_pes[remote]
-                ok = network.inject_batch(
-                    r_pes,
-                    t_f[remote],
-                    v_f[remote],
-                    x_f[remote],
+            if local.any():
+                li = local.nonzero()[0]
+                local_pes = fifo_pes.take(li)
+                out.drop(local_pes)
+                spd.append(
+                    local_pes,
+                    v_f.take(li),
+                    x_f.take(li),
                     assume_unique=True,
                 )
-                if ok.any():
-                    out.pop(r_pes[ok])
+                ri = np.logical_not(local, out=local).nonzero()[0]
+                r_pes = fifo_pes.take(ri)
+                t_r, v_r, x_r = t_f.take(ri), v_f.take(ri), x_f.take(ri)
+            else:
+                r_pes, t_r, v_r, x_r = fifo_pes, t_f, v_f, x_f
+            if r_pes.size:
+                ok = network.inject_batch(
+                    r_pes,
+                    t_r,
+                    v_r,
+                    x_r,
+                    assume_unique=True,
+                    checked=False,
+                )
+                if ok.all():
+                    out.drop(r_pes)
+                elif ok.any():
+                    out.drop(r_pes[ok])
         if drain_pipelines and agg is not None:
-            emit_sel = ~fifo_has & pipe_has
+            np.logical_not(fifo_has, out=emit_sel)
+            emit_sel &= pipe_has
             if stall is not None:
-                emit_sel = emit_sel & can_act
+                emit_sel &= can_act
             emit_pes = emit_sel.nonzero()[0]
             if emit_pes.size:
                 progressed = True
                 v_e, x_e = agg.emit_round_robin(emit_pes)
-                t_e = np.asarray(mapping.home(v_e), dtype=np.int64)
+                t_e = home_all.take(v_e)
                 local = t_e == emit_pes
-                spd.append(
-                    emit_pes[local],
-                    v_e[local],
-                    x_e[local],
-                    assume_unique=True,
-                )
-                remote = (~local).nonzero()[0]
-                if remote.size:
-                    r_pes = emit_pes[remote]
+                if local.any():
+                    li = local.nonzero()[0]
+                    spd.append(
+                        emit_pes.take(li),
+                        v_e.take(li),
+                        x_e.take(li),
+                        assume_unique=True,
+                    )
+                    ri = np.logical_not(local, out=local).nonzero()[0]
+                    r_pes = emit_pes.take(ri)
+                    t_r, v_r, x_r = (
+                        t_e.take(ri),
+                        v_e.take(ri),
+                        x_e.take(ri),
+                    )
+                else:
+                    r_pes, t_r, v_r, x_r = emit_pes, t_e, v_e, x_e
+                if r_pes.size:
                     ok = network.inject_batch(
                         r_pes,
-                        t_e[remote],
-                        v_e[remote],
-                        x_e[remote],
+                        t_r,
+                        v_r,
+                        x_r,
                         assume_unique=True,
+                        checked=False,
                     )
                     if not ok.all():
                         # Backpressure: the PE's FIFO is empty (that is
@@ -508,8 +619,8 @@ def scatter_phase_fast(
                         bad = ~ok
                         out.append(
                             r_pes[bad],
-                            v_e[remote][bad],
-                            x_e[remote][bad],
+                            v_r[bad],
+                            x_r[bad],
                             assume_unique=True,
                         )
 
@@ -542,23 +653,31 @@ def scatter_phase_fast(
                         count=n_landed,
                     ),
                 )
-        if n_landed or network.total_occupancy():
+        occ_now = (
+            network.last_occupancy
+            if fast_net
+            else network.total_occupancy()
+        )
+        if n_landed or occ_now:
             progressed = True
 
         # 4. SPD: one Reduce per slice per cycle.  The popped vertices
         #    are distinct across PEs (each vertex retires only at its
         #    home), so the scatter-reduce below is exact.
-        spd_has = spd.count > 0
-        if stall is None:
-            retire = spd_has
+        if spd.total():
+            np.greater(spd.count, 0, out=spd_has)
+            if stall is None:
+                retire = spd_has
+            else:
+                if bool((spd_has & stall).any()):
+                    pe_stall_hit = True
+                retire = spd_has & ~stall
+            retire_pes = retire.nonzero()[0]
         else:
-            if bool((spd_has & stall).any()):
-                pe_stall_hit = True
-            retire = spd_has & ~stall
-        retire_pes = retire.nonzero()[0]
+            retire_pes = _EMPTY_PES
         if retire_pes.size:
             rv, rx = spd.pop(retire_pes)
-            vtemp[rv] = reduce_ufunc(vtemp[rv], rx)
+            vtemp[rv] = reduce_ufunc(vtemp.take(rv), rx)
             touched_mask[rv] = True
             stats.spd_reduces += int(retire_pes.size)
             progressed = True
@@ -586,7 +705,7 @@ def scatter_phase_fast(
             and out.total() == 0
             and (agg is None or agg.total_occupancy() == 0)
             and spd.total() == 0
-            and not network.total_occupancy()
+            and not occ_now
             and not network.in_flight_packets()
         ):
             break
@@ -597,6 +716,120 @@ def scatter_phase_fast(
             target = network.next_event_cycle()
             if target is not None and target > network.cycle:
                 cycle += network.fast_forward(target)
+
+    # ------------------------------------------------------------------
+    # Drain mode: dispatch and egress are provably inert, so each cycle
+    # is exactly stage 3 (mesh step + landings) and stage 4 (SPD
+    # retire), with the same fault accounting, sanitizer hooks, cycle
+    # bookkeeping, and exit condition as the main loop — stats are
+    # cycle-for-cycle identical, minus the dead glue.
+    # ------------------------------------------------------------------
+    while drained_early:
+        progressed = False
+        pe_stall_hit = False
+        net_degraded_before = network.stats.degraded_cycles
+        stall = faults.pe_stall_mask(cycle) if faults is not None else None
+
+        before = delivered_count()
+        with noc_timer:
+            network.step()
+        n_landed = delivered_count() - before
+        if n_landed:
+            if delivered_arrays is not None:
+                spd.append(*delivered_arrays(before), assume_unique=True)
+            else:
+                landed = network.delivered[before:]
+                spd.append(
+                    np.fromiter(
+                        (p.dst for p in landed),
+                        dtype=np.int64,
+                        count=n_landed,
+                    ),
+                    np.fromiter(
+                        (p.vertex for p in landed),
+                        dtype=np.int64,
+                        count=n_landed,
+                    ),
+                    np.fromiter(
+                        (p.value for p in landed),
+                        dtype=np.float64,
+                        count=n_landed,
+                    ),
+                )
+        occ_now = (
+            network.last_occupancy
+            if fast_net
+            else network.total_occupancy()
+        )
+        if n_landed or occ_now:
+            progressed = True
+
+        if spd.total():
+            np.greater(spd.count, 0, out=spd_has)
+            if stall is None:
+                retire = spd_has
+            else:
+                if bool((spd_has & stall).any()):
+                    pe_stall_hit = True
+                retire = spd_has & ~stall
+            retire_pes = retire.nonzero()[0]
+        else:
+            retire_pes = _EMPTY_PES
+        if retire_pes.size:
+            rv, rx = spd.pop(retire_pes)
+            vtemp[rv] = reduce_ufunc(vtemp.take(rv), rx)
+            touched_mask[rv] = True
+            stats.spd_reduces += int(retire_pes.size)
+            progressed = True
+
+        if faults is not None and (
+            pe_stall_hit
+            or network.stats.degraded_cycles > net_degraded_before
+        ):
+            stats.degraded_cycles += 1
+        if sanitizer is not None and agg is not None:
+            sanitizer.check_aggregation_ledger_arrays(agg, cycle=cycle)
+
+        cycle += 1
+        if cycle > max_cycles:
+            raise SimulationError(
+                f"scatter phase did not drain in {max_cycles} cycles"
+            )
+        if (
+            not progressed
+            and spd.total() == 0
+            and not occ_now
+            and not network.in_flight_packets()
+        ):
+            break
+
+        if not progressed and not pe_stall_hit:
+            # Idle gap: jump to the mesh's next scheduled event.
+            target = network.next_event_cycle()
+            if target is not None and target > network.cycle:
+                cycle += network.fast_forward(target)
+        elif (
+            pe_stall_hit
+            and faults is not None
+            and retire_pes.size == 0
+            and occ_now == 0
+            and not network.in_flight_packets()
+            and network.next_event_cycle() is None
+        ):
+            # Stall-window fast-forward: the mesh is fully inert (no
+            # buffered, in-flight, or pending packets) and every
+            # SPD-holding PE sits in a stall window.  All fault masks
+            # are constant until the next window boundary, so each
+            # intervening cycle would replay exactly this one: no
+            # retire, one degraded cycle (stepping an *empty* mesh can
+            # never raise fault_seen, so the mesh's own degraded count
+            # cannot move).  Jump straight to the boundary.
+            boundary = faults.next_boundary_cycle(cycle - 1)
+            if boundary is not None and boundary > cycle:
+                skipped = boundary - cycle
+                cycle = boundary
+                stats.degraded_cycles += skipped
+                network.fast_forward(network.cycle + skipped)
 
     stats.updates_processed += total_edges
     stats.noc_hops += network.stats.total_hops

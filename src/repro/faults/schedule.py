@@ -288,6 +288,25 @@ class FaultSchedule:
         ends += [s.end for s in self.fifo_stalls]
         return max(ends) if ends else 0
 
+    def next_boundary_cycle(self, cycle: int) -> Optional[int]:
+        """First cycle strictly after ``cycle`` at which any fault
+        window opens or closes, or None when no edge remains.
+
+        Every mask this schedule serves (:meth:`link_dead_mask`,
+        :meth:`fifo_stall_mask`, :meth:`pe_stall_mask`) is constant on
+        ``[cycle, next_boundary_cycle(cycle))`` — the contract the
+        drain-mode batching in the vectorised scatter engine relies on
+        to fast-forward through stall windows without re-evaluating the
+        masks each cycle.
+        """
+        best: Optional[int] = None
+        for windows in (self.link_outages, self.fifo_stalls, self.pe_stalls):
+            for w in windows:
+                for edge in (w.start, w.end):
+                    if edge > cycle and (best is None or edge < best):
+                        best = edge
+        return best
+
     # ------------------------------------------------------------------
     # Cycle-sim-facing queries
     # ------------------------------------------------------------------

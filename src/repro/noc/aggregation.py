@@ -247,9 +247,13 @@ class BatchedAggregationArray:
     in rank order, which preserves the reference's per-column offer
     order exactly (offers to different columns never interact).
 
-    Registers are ``(num_pes, num_stages, num_columns)`` arrays with
+    Registers are ``(num_pes, num_columns, num_stages)`` arrays with
     ``vid == -1`` marking an empty register; columns are prefix-dense
-    (occupied stages first), mirroring the reference invariant.
+    (occupied stages first), mirroring the reference invariant.  The
+    column-major layout keeps each ``(pe, column)`` register column
+    contiguous, so the hot offer/emit paths are flat row gathers on the
+     2-D views ``_vid2``/``_val2`` (``pe * num_columns + col`` rows)
+    instead of strided two-array advanced indexing.
     """
 
     def __init__(
@@ -268,11 +272,22 @@ class BatchedAggregationArray:
         self.reduce_ufunc = reduce_ufunc
         self.sanitizer = sanitizer
         self.vid = np.full(
-            (num_pes, num_stages, num_columns), -1, dtype=np.int64
+            (num_pes, num_columns, num_stages), -1, dtype=np.int64
         )
-        self.val = np.zeros((num_pes, num_stages, num_columns))
+        self.val = np.zeros((num_pes, num_columns, num_stages))
+        # Flat (pe * num_columns + col, stage) views of the registers —
+        # the row index is exactly the offer key, so the hot paths are
+        # contiguous row takes/puts.
+        self._vid2 = self.vid.reshape(num_pes * num_columns, num_stages)
+        self._val2 = self.val.reshape(num_pes * num_columns, num_stages)
+        self._vid_flat = self.vid.reshape(-1)
+        self._val_flat = self.val.reshape(-1)
+        self._arange_cols = np.arange(num_columns, dtype=np.int64)
         #: Live registers per PE (kept incrementally; audited on demand).
         self.occ = np.zeros(num_pes, dtype=np.int64)
+        # Scalar mirror of occ.sum(), maintained at the two occ writes
+        # so the per-cycle drain check costs no reduction.
+        self._total_occ = 0
         #: Round-robin read column per PE.
         self.rr = np.zeros(num_pes, dtype=np.int64)
         # Per-PE ledger counters, same meaning as AggregationStats.
@@ -291,7 +306,7 @@ class BatchedAggregationArray:
         return self.num_stages * self.num_columns
 
     def total_occupancy(self) -> int:
-        return int(self.occ.sum())
+        return self._total_occ
 
     # ------------------------------------------------------------------
     # Write path: one cycle's worth of offers, batched
@@ -331,60 +346,77 @@ class BatchedAggregationArray:
         ev_pe: List[np.ndarray] = []
         ev_vid: List[np.ndarray] = []
         ev_val: List[np.ndarray] = []
+        vid2, val2 = self._vid2, self._val2
         for r in range(n_rounds):
             sel = by_rank[round_bounds[r]:round_bounds[r + 1]]
-            p, c = pe[sel], col[sel]
-            v, x = vertex[sel], value[sel]
+            # PE indices are only needed for sparse subsets below —
+            # recovered from the key digits on demand (k // columns)
+            # instead of a full gather per round.
+            k = key.take(sel)  # flat (pe, column) register-column rows
+            v, x = vertex.take(sel), value.take(sel)
             if audit:
-                np.add.at(self.offered, p, 1)
-            # (k, num_stages) views of each offer's target column.
-            block_v = self.vid[p, :, c]
+                np.add.at(self.offered, k // self.num_columns, 1)
+            # (k, num_stages) copies of each offer's target column.
+            block_v = vid2.take(k, axis=0)
             match = block_v == v[:, None]
             has_match = match.any(axis=1)
             if has_match.any():
                 m = has_match.nonzero()[0]
-                stage = match[m].argmax(axis=1)
-                pm, cm = p[m], c[m]
-                self.val[pm, stage, cm] = self.reduce_ufunc(
-                    self.val[pm, stage, cm], x[m]
+                stage = match.take(m, axis=0).argmax(axis=1)
+                km = k.take(m)
+                fi = km * self.num_stages
+                fi += stage
+                self._val_flat[fi] = self.reduce_ufunc(
+                    self._val_flat.take(fi), x.take(m)
                 )
                 if audit:
-                    np.add.at(self.coalesced, pm, 1)
+                    np.add.at(self.coalesced, km // self.num_columns, 1)
                 coalesced_total += int(m.size)
             rest = (~has_match).nonzero()[0]
             if rest.size == 0:
                 continue
-            block_r = block_v[rest]
-            empty = block_r == -1
+            empty = block_v.take(rest, axis=0) == -1
             has_empty = empty.any(axis=1)
-            st = has_empty.nonzero()[0]
-            if st.size:
-                stage = empty[st].argmax(axis=1)
-                i = rest[st]
-                pi, ci = p[i], c[i]
-                self.vid[pi, stage, ci] = v[i]
-                self.val[pi, stage, ci] = x[i]
+            if has_empty.all():
+                st = None  # every spill finds an empty stage
+                i = rest
+                stage = empty.argmax(axis=1)
+            else:
+                st = has_empty.nonzero()[0]
+                i = rest.take(st)
+                stage = empty.take(st, axis=0).argmax(axis=1)
+            if i.size:
+                ki = k.take(i)
+                fi = ki * self.num_stages
+                fi += stage
+                self._vid_flat[fi] = v.take(i)
+                self._val_flat[fi] = x.take(i)
+                pi = ki // self.num_columns
                 if audit:
                     np.add.at(self.stored, pi, 1)
                 self.occ += np.bincount(pi, minlength=self.num_pes)
+                self._total_occ += int(i.size)
+            if st is None:
+                continue
             rj = rest[(~has_empty).nonzero()[0]]
             if rj.size:
                 # Rejected: evict stage 0 of the full column, shift the
                 # column up, store the newcomer in the freed last stage.
                 # Ledger mirrors the reference's emit + second offer.
-                pj, cj = p[rj], c[rj]
+                kj = k.take(rj)
+                pj = kj // self.num_columns
                 ev_pos.append(sel[rj])
                 ev_pe.append(pj.copy())
-                ev_vid.append(self.vid[pj, 0, cj].copy())
-                ev_val.append(self.val[pj, 0, cj].copy())
-                col_v = self.vid[pj, :, cj]
-                col_x = self.val[pj, :, cj]
+                col_v = vid2.take(kj, axis=0)
+                col_x = val2.take(kj, axis=0)
+                ev_vid.append(col_v[:, 0].copy())
+                ev_val.append(col_x[:, 0].copy())
                 col_v[:, :-1] = col_v[:, 1:]
                 col_x[:, :-1] = col_x[:, 1:]
                 col_v[:, -1] = v[rj]
                 col_x[:, -1] = x[rj]
-                self.vid[pj, :, cj] = col_v
-                self.val[pj, :, cj] = col_x
+                vid2[kj] = col_v
+                val2[kj] = col_x
                 if audit:
                     np.add.at(self.rejected, pj, 1)
                     np.add.at(self.emitted, pj, 1)
@@ -412,28 +444,29 @@ class BatchedAggregationArray:
         the stage-0 entry of its next non-empty column in round-robin
         order, shifting that column up — exactly
         :meth:`AggregationPipeline.emit` with ``column=None``."""
-        occupied = self.vid[pes, 0, :] != -1  # prefix-dense columns
+        occupied = self.vid[pes, :, 0] != -1  # prefix-dense columns
         step = (
-            np.arange(self.num_columns, dtype=np.int64) - self.rr[pes][:, None]
+            self._arange_cols - self.rr.take(pes)[:, None]
         ) % self.num_columns
         col = np.where(occupied, step, self.num_columns).argmin(axis=1)
-        pick = occupied[np.arange(pes.size), col]
-        if not pick.all():
+        if int(self.occ.take(pes).min()) <= 0:
             raise SimulationError(
                 "emit_round_robin called on an empty register array"
             )
-        v = self.vid[pes, 0, col].copy()
-        x = self.val[pes, 0, col].copy()
-        col_v = self.vid[pes, :, col]
-        col_x = self.val[pes, :, col]
+        rows = pes * self.num_columns + col
+        col_v = self._vid2.take(rows, axis=0)
+        col_x = self._val2.take(rows, axis=0)
+        v = col_v[:, 0].copy()
+        x = col_x[:, 0].copy()
         col_v[:, :-1] = col_v[:, 1:]
         col_x[:, :-1] = col_x[:, 1:]
         col_v[:, -1] = -1
         col_x[:, -1] = 0.0
-        self.vid[pes, :, col] = col_v
-        self.val[pes, :, col] = col_x
+        self._vid2[rows] = col_v
+        self._val2[rows] = col_x
         self.rr[pes] = (col + 1) % self.num_columns
         self.occ[pes] -= 1
+        self._total_occ -= int(pes.size)
         if self.sanitizer is not None:
             self.emitted[pes] += 1
         return v, x

@@ -102,6 +102,10 @@ del _r, _m
 #: requests (each ``-1..4``, stored as ``out + 1``) into one code.
 _POW6 = (6 ** np.arange(NUM_PORTS)).astype(np.int64)
 
+#: Flat view of :data:`_WINNER_LUT` for single-gather ``np.take`` with a
+#: precomputed ``rr * 32 + mask`` index (row stride is ``1 << NUM_PORTS``).
+_WINNER_FLAT = _WINNER_LUT.reshape(-1)
+
 #: ``_MASK_LUT[code, o]`` — bitmask of input ports whose packed request
 #: digit equals output port ``o`` (digit value ``o + 1``; digit 0 is
 #: the "no request" sentinel).
@@ -140,6 +144,29 @@ BUFFER_DTYPES = {
     "_pkt_injected": "int64",
     "_pkt_vertex": "int64",
     "_pkt_value": "float64",
+    # Delivery log: registry indices in delivery order (cursor _dlv_n).
+    "_dlv_pidx": "int64",
+    # Per-cycle arbitration scratch, sliced to the active-node count and
+    # written with np.take(..., out=)/in-place ufuncs so steady-state
+    # cycles allocate no full-width temporaries.
+    "_scr_cnt": "int64",
+    "_scr_occ": "bool",
+    "_scr_nocc": "bool",
+    "_scr_heads": "int64",
+    "_scr_dst": "int64",
+    "_scr_out": "int64",
+    "_scr_flat": "int64",
+    "_scr_rr": "int64",
+    "_scr_mask": "int64",
+    "_scr_winner": "int64",
+    "_scr_granted": "bool",
+    "_scr_code": "int64",
+    "_scr_nbase": "int64",
+    "_scr_pernode": "int64",
+    "_scr_route8": "int8",
+    # Head-route cache: fault-free XY output port of each (node, port)
+    # head-of-line packet, -1 when that FIFO is empty.
+    "_head_route": "int64",
 }
 
 
@@ -219,8 +246,20 @@ class FastMeshNetwork:
         self._pkt_value = np.zeros(cap, dtype=np.float64)
         #: Registry indices of delivered packets, in delivery order
         #: (parallel to :attr:`delivered`; feeds
-        #: :meth:`delivered_arrays`).
-        self._delivered_pidx: List[int] = []
+        #: :meth:`delivered_arrays`).  Growable array + cursor, so the
+        #: per-cycle delivery log is a slice assignment and
+        #: :meth:`delivered_arrays` reads a view, never a Python list.
+        self._dlv_pidx = np.zeros(1024, dtype=np.int64)
+        self._dlv_n = 0
+        #: Packets removed from router FIFOs by the current arbitrate
+        #: pass (ejections + multi-flit link departures) — lets
+        #: :meth:`step` derive post-pass occupancy from the pre-pass
+        #: per-node sums instead of a second full reduction.
+        self._removed_by_pass = 0
+        #: Router-FIFO occupancy as of the end of the last :meth:`step`
+        #: (cheap read for per-cycle driver loops; equal to
+        #: :meth:`total_occupancy` until the next injection).
+        self.last_occupancy = 0
 
         # --- injection / link-traversal bookkeeping --------------------
         # Per source node: (future-injection heap keyed (when, seq),
@@ -249,8 +288,9 @@ class FastMeshNetwork:
         self._arange_nodes = np.arange(n, dtype=np.int64)
         # (node, dst) -> XY output port, one gather per cycle instead of
         # the divmod/where route chain.  Quadratic in nodes, so only
-        # built for meshes where the table stays small (int8, <= 1 MiB).
-        if n <= 1024:
+        # built for meshes where the table stays small (int8, <= 16 MiB
+        # — covers the 48x48 paper-scale probes).
+        if n <= 4096:
             nr = self._node_row[:, None]
             nc = self._node_col[:, None]
             dr = self._node_row[None, :]
@@ -271,6 +311,76 @@ class FastMeshNetwork:
         self._port_row = np.arange(NUM_PORTS, dtype=np.int64).reshape(
             1, NUM_PORTS
         )
+
+        # --- preallocated arbitration scratch --------------------------
+        # One row per node, sliced to the active subset each cycle; all
+        # hot-path gathers/compares land here via np.take(..., out=) and
+        # in-place ufuncs, so a steady-state cycle performs zero
+        # full-width allocations (only grant-sized index arrays remain).
+        self._buf_flat = self._buf.reshape(-1)
+        self._head_flat = self._head.reshape(-1)
+        self._count_flat = self._count.reshape(-1)
+        self._rr_flat = self._rr.reshape(-1)
+        self._down_node_flat = self._down_node.reshape(-1)
+        #: Flat base index of (node, port, slot 0) into ``_buf_flat``;
+        #: adding the head slot yields the head-of-line gather index.
+        self._flat_node_port = (
+            node[:, None] * NUM_PORTS + np.arange(NUM_PORTS, dtype=np.int64)
+        ) * depth
+        #: Flat base index of (node, dst 0) into the route table.
+        self._rt_base = node * np.int64(n)
+        #: Downstream flat (node, port) row per flat (node, out-port)
+        #: grant index: ``down_node * NUM_PORTS + down_in`` in one
+        #: gather when the whole mesh is active.
+        self._down_flat_lut = (
+            self._down_node * NUM_PORTS + _DOWN_IN[None, :]
+        ).reshape(-1)
+        self._route_flat = (
+            self._route_table.reshape(-1)
+            if self._route_table is not None
+            else None
+        )
+        self._scr_cnt = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        self._scr_occ = np.zeros((n, NUM_PORTS), dtype=bool)
+        self._scr_nocc = np.zeros((n, NUM_PORTS), dtype=bool)
+        self._scr_heads = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        self._scr_dst = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        self._scr_out = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        self._scr_flat = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        self._scr_rr = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        self._scr_mask = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        self._scr_winner = np.zeros((n, NUM_PORTS), dtype=np.int64)
+        self._scr_granted = np.zeros((n, NUM_PORTS), dtype=bool)
+        self._scr_code = np.zeros(n, dtype=np.int64)
+        self._scr_nbase = np.zeros(n, dtype=np.int64)
+        self._scr_pernode = np.zeros(n, dtype=np.int64)
+        self._scr_route8 = np.zeros((n, NUM_PORTS), dtype=np.int8)
+        # Head-route cache: the fault-free XY output port of the
+        # head-of-line packet per (node, port), -1 when empty.  Kept
+        # current at every write that can change a head (injection,
+        # commit-pass pop, link landing), which touches far fewer rows
+        # per cycle than the full head+route gather chain it replaces in
+        # the fault-free arbitrate pass.  Routes are destination-only,
+        # so the cache stays valid across fault windows (the fault
+        # branch recomputes deflections from scratch and never reads
+        # it).
+        if self._route_flat is not None:
+            self._head_route = np.full((n, NUM_PORTS), -1, dtype=np.int64)
+            self._head_route_flat = self._head_route.reshape(-1)
+        else:
+            self._head_route = None
+            self._head_route_flat = None
+        # Deferred maintenance: mutation sites append their touched flat
+        # rows here; the fault-free arbitrate pass flushes the union in
+        # ONE recompute per cycle (a per-site eager refresh costs more
+        # in fixed numpy overhead than the cached gather saves).
+        self._hr_dirty: List[np.ndarray] = []
+        # Cleared when the fault branch runs (it bypasses maintenance
+        # reads); the next fault-free pass then rebuilds every row.
+        self._hr_valid = True
+        #: node * num_nodes per flat (node, port) row — route-table row
+        #: base for :meth:`_refresh_head_route` without a divide.
+        self._rt_base_pp = np.repeat(node * np.int64(n), NUM_PORTS)
 
     # ------------------------------------------------------------------
     # Injection
@@ -313,6 +423,8 @@ class FastMeshNetwork:
         )
         self._buf[src, LOCAL, slot] = pidx
         self._count[src, LOCAL] += 1
+        if self._head_route_flat is not None:
+            self._refresh_head_route_one(src, LOCAL)
         self._pkt_injected[pidx] = self.cycle
         self.stats.injected += 1
         return True
@@ -324,6 +436,7 @@ class FastMeshNetwork:
         vertices: np.ndarray,
         values: np.ndarray,
         assume_unique: bool = False,
+        checked: bool = True,
     ) -> np.ndarray:
         """Inject one packet per entry, in argument order; returns the
         per-entry acceptance mask.
@@ -338,20 +451,25 @@ class FastMeshNetwork:
 
         ``assume_unique=True`` asserts that ``srcs`` has no repeats
         (one packet per PE per cycle), skipping the duplicate scan.
+        ``checked=False`` additionally asserts every node index is in
+        range, skipping the bounds scan (four array reductions) — for
+        trusted per-cycle callers like the vectorised scatter engine.
         """
         srcs = np.asarray(srcs, dtype=np.int64)
         if srcs.size == 0:
             return np.zeros(0, dtype=bool)
         dsts = np.asarray(dsts, dtype=np.int64)
         n = self.topology.num_nodes
-        lo = min(int(srcs.min()), int(dsts.min()))
-        hi = max(int(srcs.max()), int(dsts.max()))
-        if lo < 0 or hi >= n:
-            bad = lo if lo < 0 else hi
-            raise ConfigurationError(
-                f"node {bad} outside mesh with {n} nodes"
-            )
-        space = self.buffer_depth - self._count[srcs, LOCAL]
+        if checked:
+            lo = min(int(srcs.min()), int(dsts.min()))
+            hi = max(int(srcs.max()), int(dsts.max()))
+            if lo < 0 or hi >= n:
+                bad = lo if lo < 0 else hi
+                raise ConfigurationError(
+                    f"node {bad} outside mesh with {n} nodes"
+                )
+        sf = srcs * NUM_PORTS  # flat (src, LOCAL) rows; LOCAL == 0
+        space = self.buffer_depth - self._count_flat.take(sf)
         # Rank each entry within its source group (argument order) —
         # rank r fits iff r < free slots, exactly sequential inject().
         # The scatter engines inject at most one packet per source per
@@ -375,15 +493,25 @@ class FastMeshNetwork:
                 np.cumsum(group_start) - 1
             ]
             ok = rank < space
-        acc = ok.nonzero()[0]
-        if acc.size == 0:
-            return ok
-        a_src = srcs[acc]
-        a_dst = dsts[acc]
-        a_vtx = np.asarray(vertices, dtype=np.int64)[acc]
-        a_val = np.asarray(values, dtype=np.float64)[acc]
+        if ok.all():
+            # All accepted (the steady-state case): skip the nonzero
+            # and five masked gathers below.
+            acc = None
+            a_src, a_dst = srcs, dsts
+            a_vtx = np.asarray(vertices, dtype=np.int64)
+            a_val = np.asarray(values, dtype=np.float64)
+            a_sf = sf
+        else:
+            acc = ok.nonzero()[0]
+            if acc.size == 0:
+                return ok
+            a_src = srcs[acc]
+            a_dst = dsts[acc]
+            a_vtx = np.asarray(vertices, dtype=np.int64)[acc]
+            a_val = np.asarray(values, dtype=np.float64)[acc]
+            a_sf = sf[acc]
         cycle = self.cycle
-        n_acc = int(acc.size)
+        n_acc = int(a_src.size)
         base = len(self._pkts)
         need = base + n_acc
         if need > self._pkt_dst.size:
@@ -409,15 +537,20 @@ class FastMeshNetwork:
         self._pkt_injected[base:need] = cycle
         self._pkt_vertex[base:need] = a_vtx
         self._pkt_value[base:need] = a_val
-        slot = self._head[a_src, LOCAL] + self._count[a_src, LOCAL]
+        slot = self._head_flat.take(a_sf)
+        slot += self._count_flat.take(a_sf)
         if rank is not None:
-            slot = slot + rank[acc]
+            slot += rank if acc is None else rank[acc]
         slot %= self.buffer_depth
-        self._buf[a_src, LOCAL, slot] = pidx
+        bidx = a_sf * self.buffer_depth
+        bidx += slot
+        self._buf_flat[bidx] = pidx
         if rank is None:
-            self._count[a_src, LOCAL] += 1
+            self._count_flat[a_sf] += 1
         else:
-            np.add.at(self._count, (a_src, LOCAL), 1)
+            np.add.at(self._count_flat, a_sf, 1)
+        if self._head_route_flat is not None:
+            self._hr_dirty.append(a_sf)
         self.stats.injected += n_acc
         return ok
 
@@ -437,14 +570,20 @@ class FastMeshNetwork:
             np.subtract(busy, 1, out=busy)
             np.maximum(busy, 0, out=busy)
 
-        count = self._count
-        per_node = count.sum(axis=1)
+        per_node = self._scr_pernode
+        self._count.sum(axis=1, out=per_node)
         active = per_node.nonzero()[0]
         if active.size:
+            # _arbitrate_and_move records how many packets left the
+            # FIFOs (ejections + multi-flit link departures); link moves
+            # are occupancy-neutral, so post-pass occupancy follows from
+            # the pre-pass sum without a second full reduction.
+            self._removed_by_pass = 0
             self._arbitrate_and_move(active)
-            occupancy = int(self._count.sum())
+            occupancy = int(per_node.sum()) - self._removed_by_pass
         else:
             occupancy = 0
+        self.last_occupancy = occupancy
         if occupancy > self.stats.max_occupancy:
             self.stats.max_occupancy = occupancy
         self.cycle += 1
@@ -462,42 +601,93 @@ class FastMeshNetwork:
         """
         depth = self.buffer_depth
         count = self._count
-        occ = count[active] > 0  # (a, 5) ports with a head-of-line packet
-        heads = self._buf[active[:, None], self._port_row, self._head[active]]
-        dst = self._pkt_dst[heads]
+        a = active.size
         faults = self.faults
-        if faults is None:
-            # Dimension-order routing: one gather from the (node, dst)
-            # table when available, else the where-chain below.
-            route = self._route_table
-            if route is not None:
-                out = np.where(
-                    occ, route[active[:, None], dst].astype(np.int64), -1
+        out = self._scr_out[:a]
+        flat = self._scr_flat[:a]
+        if faults is None and self._head_route is not None:
+            # Fault-free fast path: the head-route cache already holds
+            # each head packet's XY output port (-1 for empty rows), so
+            # one 2-D gather replaces the whole head+route chain below.
+            # Flush deferred maintenance first — one batched recompute
+            # of every row touched since the last read.
+            dirty = self._hr_dirty
+            if not self._hr_valid:
+                self._refresh_head_route(
+                    np.arange(
+                        self._head_route_flat.size, dtype=np.int64
+                    )
                 )
-            else:
-                dst_row, dst_col = np.divmod(dst, self.topology.cols)
-                row = self._node_row[active][:, None]
-                col = self._node_col[active][:, None]
-                out = np.where(
-                    col < dst_col,
-                    EAST,
+                self._hr_valid = True
+                dirty.clear()
+            elif dirty:
+                self._refresh_head_route(
+                    dirty[0] if len(dirty) == 1 else np.concatenate(dirty)
+                )
+                dirty.clear()
+            self._head_route.take(active, axis=0, out=out, mode="clip")
+        elif faults is None:
+            # No route table (mesh too large): gather head-of-line
+            # state and compute dimension-order routes directly.
+            cnt = self._scr_cnt[:a]
+            count.take(active, axis=0, out=cnt, mode="clip")
+            occ = self._scr_occ[:a]  # ports with a head-of-line packet
+            np.greater(cnt, 0, out=occ)
+            self._flat_node_port.take(active, axis=0, out=flat, mode="clip")
+            heads = self._scr_heads[:a]
+            self._head.take(active, axis=0, out=heads, mode="clip")
+            flat += heads  # flat (node, port, head-slot) index into _buf
+            self._buf_flat.take(
+                flat.reshape(-1), out=heads.reshape(-1), mode="clip"
+            )
+            dst = self._scr_dst[:a]
+            self._pkt_dst.take(heads, out=dst, mode="clip")
+            nocc = self._scr_nocc[:a]
+            np.logical_not(occ, out=nocc)
+            dst_row, dst_col = np.divmod(dst, self.topology.cols)
+            row = self._node_row[active][:, None]
+            col = self._node_col[active][:, None]
+            out[...] = np.where(
+                col < dst_col,
+                EAST,
+                np.where(
+                    col > dst_col,
+                    WEST,
                     np.where(
-                        col > dst_col,
-                        WEST,
-                        np.where(
-                            row < dst_row,
-                            SOUTH,
-                            np.where(row > dst_row, NORTH, LOCAL),
-                        ),
+                        row < dst_row,
+                        SOUTH,
+                        np.where(row > dst_row, NORTH, LOCAL),
                     ),
-                )
-                out = np.where(occ, out, -1)
+                ),
+            )
+            np.copyto(out, -1, where=nocc)
         else:
+            # Fault branch: gather head-of-line state, then apply the
+            # vectorised deflection policy.  It never reads the cache,
+            # so maintenance pauses here: mark the cache invalid and
+            # drop the dirty backlog — the next fault-free pass
+            # rebuilds every row from the live FIFO arrays.
+            if self._head_route is not None:
+                self._hr_valid = False
+                self._hr_dirty.clear()
+            cnt = self._scr_cnt[:a]
+            count.take(active, axis=0, out=cnt, mode="clip")
+            occ = self._scr_occ[:a]  # ports with a head-of-line packet
+            np.greater(cnt, 0, out=occ)
+            self._flat_node_port.take(active, axis=0, out=flat, mode="clip")
+            heads = self._scr_heads[:a]
+            self._head.take(active, axis=0, out=heads, mode="clip")
+            flat += heads  # flat (node, port, head-slot) index into _buf
+            self._buf_flat.take(
+                flat.reshape(-1), out=heads.reshape(-1), mode="clip"
+            )
+            dst = self._scr_dst[:a]
+            self._pkt_dst.take(heads, out=dst, mode="clip")
             dst_row, dst_col = np.divmod(dst, self.topology.cols)
             row = self._node_row[active][:, None]
             col = self._node_col[active][:, None]
             # Dimension-order routing for every head packet at once.
-            out = np.where(
+            fout = np.where(
                 col < dst_col,
                 EAST,
                 np.where(
@@ -520,12 +710,12 @@ class FastMeshNetwork:
             stall = faults.fifo_stall_mask(self.cycle)[active]
             valid = occ & ~stall
             a_col = np.arange(active.size)[:, None]
-            xy_dead = valid & dead[a_col, out]  # dead[:, LOCAL] is False
+            xy_dead = valid & dead[a_col, fout]  # dead[:, LOCAL] is False
             fault_seen = bool(xy_dead.any()) or bool((stall & occ).any())
             if xy_dead.any():
                 rows_total = self.topology.rows
                 cols_total = self.topology.cols
-                is_x = (out == EAST) | (out == WEST)
+                is_x = (fout == EAST) | (fout == WEST)
                 deflect_same_row = np.where(
                     row + 1 < rows_total, SOUTH, NORTH
                 )
@@ -541,12 +731,12 @@ class FastMeshNetwork:
                     blocked = blocked | is_x  # no Y axis to deflect along
                 if cols_total == 1:
                     blocked = blocked | ~is_x  # no X axis to deflect along
-                out = np.where(
-                    xy_dead, np.where(blocked, -1, alt), out
+                fout = np.where(
+                    xy_dead, np.where(blocked, -1, alt), fout
                 )
             if fault_seen:
                 self.stats.degraded_cycles += 1
-            out = np.where(valid, out, -1)
+            out[...] = np.where(valid, fout, -1)
 
         # Switch allocation: for each (node, out port), the contending
         # input port closest at-or-after the round-robin pointer wins.
@@ -555,45 +745,87 @@ class FastMeshNetwork:
         # _WINNER_LUT resolves each mask against the round-robin
         # pointer — two table gathers instead of an (active, out, in)
         # match/argmin tensor pass.
-        code = (out + 1) @ _POW6  # (a,)
-        mask = _MASK_LUT[code]  # (a, out) request bitmasks
-        winner = _WINNER_LUT[self._rr[active], mask]  # (a, out)
-        granted = mask != 0
+        out += 1  # request digits 0..5 (0 = no request)
+        code = self._scr_code[:a]
+        np.dot(out, _POW6, out=code)  # (a,)
+        mask = self._scr_mask[:a]  # (a, out) request bitmasks
+        _MASK_LUT.take(code, axis=0, out=mask, mode="clip")
+        rr = self._scr_rr[:a]
+        self._rr.take(active, axis=0, out=rr, mode="clip")
+        np.multiply(rr, _WINNER_LUT.shape[1], out=flat)
+        flat += mask
+        winner = self._scr_winner[:a]  # (a, out)
+        _WINNER_FLAT.take(
+            flat.reshape(-1), out=winner.reshape(-1), mode="clip"
+        )
+        granted = self._scr_granted[:a]
+        np.not_equal(mask, 0, out=granted)
         if self._has_multiflit:
             granted &= self._link_busy[active] == 0
 
-        # Split local ejections from link traversals.
-        local_nodes = active[granted[:, LOCAL]]
-        local_in = winner[granted[:, LOCAL], LOCAL]
+        # Split local ejections from link traversals.  All gathers and
+        # scatters below index the flat (node*NUM_PORTS + port) views —
+        # single-array integer indexing skips the multi-array iterator
+        # setup that dominated this tail.
+        winner_flat = winner.reshape(-1)
+        full = a == self._arange_nodes.size
+        lm = np.flatnonzero(granted[:, LOCAL])
+        local_nodes = lm if full else active.take(lm)
+        local_in = winner_flat.take(lm * NUM_PORTS)  # LOCAL == 0
         granted[:, LOCAL] = False
-        gi, go = np.nonzero(granted)
-        gnode = active[gi]
-        down_node = self._down_node[gnode, go]
-        down_in = _DOWN_IN[go]
+        # Flat nonzero over the contiguous grant matrix, then split the
+        # flat index into its (node-row, out-port) digits — one pass
+        # instead of np.nonzero's two output arrays, and when every
+        # node is active the flat index doubles directly as the
+        # (node, port) gather index.
+        gfl = np.flatnonzero(granted.reshape(-1))
+        gin = winner_flat.take(gfl)
+        go = gfl % NUM_PORTS
+        if full:
+            gnode = gfl // NUM_PORTS
+            dnf = self._down_flat_lut.take(gfl)
+        else:
+            gnode = active.take(gfl // NUM_PORTS)
+            dnf = self._down_flat_lut.take(gnode * NUM_PORTS + go)
         # Credit backpressure: reserve downstream space now (pre-commit
         # occupancy); a grant without space is a stalled move.
-        space = count[down_node, down_in] < depth
-        stalled = int(gi.size - np.count_nonzero(space))
+        space = self._count_flat.take(dnf) < depth
+        stalled = int(go.size - np.count_nonzero(space))
         if stalled:
             self.stats.stalled_moves += stalled
-        gnode, go = gnode[space], go[space]
-        gin = winner[gi[space], go]
-        down_node, down_in = down_node[space], down_in[space]
+            gnode, go, gin = gnode[space], go[space], gin[space]
+            dnf = dnf[space]
 
         # Commit: dequeue every granted head and rotate the pointers.
         # (node, in) pairs are unique — each input port requests exactly
         # one output — so the fancy-indexed updates cannot collide.
         num_local = local_nodes.size
-        pop_node = np.concatenate([local_nodes, gnode])
-        pop_in = np.concatenate([local_in, gin])
-        pop_out = np.concatenate(
-            [np.full(num_local, LOCAL, dtype=np.int64), go]
-        )
-        pop_head = self._head[pop_node, pop_in]
-        pidx = self._buf[pop_node, pop_in, pop_head]
-        self._head[pop_node, pop_in] = (pop_head + 1) % depth
-        count[pop_node, pop_in] -= 1
-        self._rr[pop_node, pop_out] = (pop_in + 1) % NUM_PORTS
+        if num_local and gnode.size:
+            pop_node = np.concatenate([local_nodes, gnode])
+            pop_in = np.concatenate([local_in, gin])
+        elif num_local:
+            pop_node, pop_in = local_nodes, local_in
+        else:
+            pop_node, pop_in = gnode, gin
+        pf = pop_node * NUM_PORTS + pop_in
+        pop_head = self._head_flat.take(pf)
+        bidx = pf * depth
+        bidx += pop_head
+        pidx = self._buf_flat.take(bidx)
+        pop_head += 1
+        pop_head %= depth
+        self._head_flat[pf] = pop_head
+        self._count_flat[pf] -= 1
+        # Round-robin pointer of the granting *output* port: the flat
+        # index is node*NUM_PORTS + out, i.e. pf with the input digit
+        # swapped for the output digit (LOCAL == 0 for ejections).
+        rr_idx = pf - pop_in
+        rr_idx[num_local:] += go
+        rr_val = pop_in + 1
+        rr_val %= NUM_PORTS
+        self._rr_flat[rr_idx] = rr_val
+        if self._head_route_flat is not None:
+            self._hr_dirty.append(pf)
         # serial=None means "every popped packet is single-flit", which
         # is guaranteed while no flits>1 packet was ever registered.
         serial = (
@@ -633,8 +865,7 @@ class FastMeshNetwork:
             self._traverse(
                 gnode,
                 go,
-                down_node,
-                down_in,
+                dnf,
                 pidx[num_local:],
                 None if serial is None else serial[num_local:],
             )
@@ -649,6 +880,7 @@ class FastMeshNetwork:
         the same intra-cycle delivery order the reference produces).
         ``serial=None`` asserts every packet is single-flit."""
         self.stats.delivered += nodes.size
+        self._removed_by_pass += int(nodes.size)
         if serial is None:
             self.stats.total_latency += int(
                 nodes.size * self.cycle - self._pkt_injected[pidx].sum()
@@ -664,7 +896,17 @@ class FastMeshNetwork:
                 # +1 because the counter ticks at the start of the next
                 # cycle: block exactly `serial` cycles.
                 self._link_busy[nodes[multi], LOCAL] = serial[multi] + 1
-        self._delivered_pidx.extend(pidx.tolist())
+        n0 = self._dlv_n
+        need = n0 + pidx.size
+        if need > self._dlv_pidx.size:
+            grow = self._dlv_pidx.size
+            while grow < need:
+                grow *= 2
+            log = np.zeros(grow, dtype=np.int64)
+            log[:n0] = self._dlv_pidx[:n0]
+            self._dlv_pidx = log
+        self._dlv_pidx[n0:need] = pidx
+        self._dlv_n = need
         if self.lean_packets:
             return
         packets = self._pkts
@@ -682,7 +924,7 @@ class FastMeshNetwork:
         """Packets delivered so far (lean-mode-safe cursor for
         :meth:`delivered_arrays`; equals ``len(delivered)`` when packets
         are materialised)."""
-        return len(self._delivered_pidx)
+        return self._dlv_n
 
     def delivered_arrays(
         self, start: int = 0
@@ -692,9 +934,9 @@ class FastMeshNetwork:
         Batched read of the delivery stream for the vectorised scatter
         engine: the same packets as ``self.delivered[start:]``, without
         touching the Packet objects (three fancy-indexed reads of the
-        registry instead of three attribute loads per packet).
+        registry sliced straight off the delivery log).
         """
-        idx = np.asarray(self._delivered_pidx[start:], dtype=np.int64)
+        idx = self._dlv_pidx[start:self._dlv_n]
         return (
             self._pkt_dst[idx],
             self._pkt_vertex[idx],
@@ -705,25 +947,29 @@ class FastMeshNetwork:
         self,
         nodes: np.ndarray,
         outs: np.ndarray,
-        down_node: np.ndarray,
-        down_in: np.ndarray,
+        df: np.ndarray,
         pidx: np.ndarray,
         serial: Optional[np.ndarray],
     ) -> None:
         """Move packets across links: single-flit packets land in the
         downstream FIFO this cycle; wider ones occupy the link and land
-        once fully serialised (store-and-forward).  ``serial=None``
-        asserts every packet is single-flit."""
+        once fully serialised (store-and-forward).  ``df`` is the flat
+        ``down_node * NUM_PORTS + down_in`` row per packet.
+        ``serial=None`` asserts every packet is single-flit."""
         depth = self.buffer_depth
         self.stats.total_hops += nodes.size
         if serial is None:
-            slot = (
-                self._head[down_node, down_in]
-                + self._count[down_node, down_in]
-            ) % depth
-            self._buf[down_node, down_in, slot] = pidx
-            self._count[down_node, down_in] += 1
+            slot = self._head_flat.take(df)
+            slot += self._count_flat.take(df)
+            slot %= depth
+            bidx = df * depth
+            bidx += slot
+            self._buf_flat[bidx] = pidx
+            self._count_flat[df] += 1
+            if self._head_route_flat is not None:
+                self._hr_dirty.append(df)
             return
+        down_node, down_in = np.divmod(df, NUM_PORTS)
         single = serial == 0
         arr_node, arr_in, arr_pidx = (
             down_node[single],
@@ -736,8 +982,11 @@ class FastMeshNetwork:
             ) % depth
             self._buf[arr_node, arr_in, slot] = arr_pidx
             self._count[arr_node, arr_in] += 1
+            if self._head_route_flat is not None:
+                self._hr_dirty.append(arr_node * NUM_PORTS + arr_in)
         if not single.all():
             for k in np.flatnonzero(~single):
+                self._removed_by_pass += 1
                 self._link_busy[nodes[k], outs[k]] = serial[k] + 1
                 self._in_flight.append(
                     (
@@ -818,6 +1067,41 @@ class FastMeshNetwork:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _refresh_head_route(self, pf: np.ndarray) -> None:
+        """Recompute the head-route cache for the flat
+        ``node * NUM_PORTS + port`` rows ``pf``.
+
+        Idempotent — rows may be in any state (duplicates included),
+        each is recomputed from the live FIFO arrays: the XY route of
+        the current head packet, or -1 when the row is empty.
+        """
+        bidx = pf * self.buffer_depth
+        bidx += self._head_flat.take(pf)
+        pidx = self._buf_flat.take(bidx)
+        dst = self._pkt_dst.take(pidx, mode="clip")
+        rt = self._rt_base_pp.take(pf)
+        rt += dst
+        route = self._route_flat.take(rt)
+        self._head_route_flat[pf] = np.where(
+            self._count_flat.take(pf) > 0, route, -1
+        )
+
+    def _refresh_head_route_one(self, node: int, port: int) -> None:
+        """Scalar form of :meth:`_refresh_head_route` for the
+        object-packet slow paths (``inject``/``_inject_pending``/
+        ``_land_in_flight``)."""
+        f = node * NUM_PORTS + port
+        if self._count_flat[f] > 0:
+            pidx = int(
+                self._buf_flat[f * self.buffer_depth + self._head_flat[f]]
+            )
+            dst = int(self._pkt_dst[pidx])
+            self._head_route_flat[f] = self._route_flat[
+                node * self.topology.num_nodes + dst
+            ]
+        else:
+            self._head_route_flat[f] = -1
+
     def _register(self, packet: Packet) -> int:
         pidx = len(self._pkts)
         self._pkts.append(packet)
@@ -914,6 +1198,10 @@ class FastMeshNetwork:
             self._count[upd_node, LOCAL] += np.asarray(
                 upd_fits, dtype=np.int64
             )
+            if self._head_route_flat is not None:
+                self._hr_dirty.append(
+                    np.asarray(upd_node, dtype=np.int64) * NUM_PORTS
+                )
             self.stats.injected += len(slot_node)
 
     def _land_in_flight(self) -> None:
@@ -931,6 +1219,8 @@ class FastMeshNetwork:
                 ) % depth
                 self._buf[node, in_port, slot] = pidx
                 self._count[node, in_port] += 1
+                if self._head_route_flat is not None:
+                    self._refresh_head_route_one(node, in_port)
             else:
                 self.stats.stalled_moves += 1
                 remaining.append((self.cycle + 1, node, in_port, pidx))

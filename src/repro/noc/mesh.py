@@ -163,12 +163,13 @@ class MeshNetwork:
         vertices: np.ndarray,
         values: np.ndarray,
         assume_unique: bool = False,
+        checked: bool = True,
     ) -> np.ndarray:
         """Inject one packet per entry, in argument order; returns the
         per-entry acceptance mask.  Loop form of
         :meth:`~repro.noc.fastmesh.FastMeshNetwork.inject_batch` so both
-        engines expose the same batched surface (``assume_unique`` is a
-        pure hint; the loop form never needs it)."""
+        engines expose the same batched surface (``assume_unique`` and
+        ``checked`` are pure hints; the loop form never needs them)."""
         ok = np.zeros(len(srcs), dtype=bool)
         for i in range(len(srcs)):
             ok[i] = self.inject(

@@ -25,9 +25,16 @@ from repro.errors import (
     EngineFallbackWarning,
     SanitizerError,
 )
-from repro.faults.schedule import FaultConfig, FaultSchedule
+from repro.faults.schedule import (
+    FaultConfig,
+    FaultSchedule,
+    FifoStall,
+    LinkOutage,
+    PEStallWindow,
+)
 from repro.graph.generators import rmat_graph, star_graph
 from repro.noc.fastmesh import FastMeshNetwork
+from repro.noc.mesh import EAST, SOUTH
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
 
@@ -55,6 +62,7 @@ def _run(
     algorithm="pagerank",
     graph=GRAPH,
     fault_config=None,
+    fault_schedule=None,
     window=None,
     buffer_depth=None,
     **alg_kwargs,
@@ -73,6 +81,10 @@ def _run(
     faults = None
     if fault_config is not None:
         faults = FaultSchedule(MeshTopology(rows, cols), fault_config)
+    elif fault_schedule is not None:
+        # Factory, not an instance: each engine run gets a fresh
+        # schedule so per-instance instrumentation stays per-run.
+        faults = fault_schedule()
     sim_kwargs = dict(sanitize=True, faults=faults)
     if buffer_depth is not None:
         sim_kwargs["noc_buffer_depth"] = buffer_depth
@@ -169,6 +181,105 @@ class TestDifferentialEquivalence:
         """Below the NoC auto-threshold the vectorized scatter engine
         drives the reference MeshNetwork (Packet-object delivery path)."""
         _assert_identical(dict(rows=4, cols=8, registers=8))
+
+
+class TestDrainModeFaultWindows:
+    """Fault windows whose edges fall inside drain-mode batched gaps.
+
+    The vectorized engine's drain loop fast-forwards through provably
+    inert cycle ranges (idle mesh gaps, and all-stalled SPD windows via
+    ``FaultSchedule.next_boundary_cycle``).  These cases pin explicit
+    windows — including windows nested strictly *inside* a
+    fast-forwarded stall gap — and require the fingerprint to stay
+    integer-identical to the reference engine, which steps every one of
+    those cycles, with the sanitizer armed on both runs.
+
+    Placement is calibrated to the 8x8 PageRank workload: each scatter
+    phase runs ~34 phase-local cycles, so an all-PE stall opening in
+    the mid-20s lands after egress drains (drain mode active) while
+    update packets are still in flight — the exact state the
+    stall-window fast-forward handles.
+    """
+
+    @staticmethod
+    def _schedule(links=(), fifos=(), pes=()):
+        """Factory building a schedule with explicit windows and a
+        counter on ``next_boundary_cycle`` (only the drain-mode
+        stall fast-forward calls it), exposed as ``factory.last``."""
+
+        def build():
+            sched = FaultSchedule(
+                MeshTopology(8, 8),
+                FaultConfig(
+                    seed=0, link_outages=0, fifo_stalls=0, pe_stalls=0
+                ),
+            )
+            sched.link_outages.extend(LinkOutage(*w) for w in links)
+            sched.fifo_stalls.extend(FifoStall(*w) for w in fifos)
+            sched.pe_stalls.extend(PEStallWindow(*w) for w in pes)
+            sched.boundary_calls = 0
+            orig = FaultSchedule.next_boundary_cycle
+
+            def counting(cycle):
+                sched.boundary_calls += 1
+                return orig(sched, cycle)
+
+            sched.next_boundary_cycle = counting
+            build.last = sched
+            return sched
+
+        return build
+
+    def _differential(self, **windows):
+        factory = self._schedule(**windows)
+        ref = _run("reference", fault_schedule=factory)
+        vec = _run("vectorized", fault_schedule=factory)
+        vec_schedule = factory.last
+        assert _fingerprint(ref) == _fingerprint(vec)
+        np.testing.assert_array_equal(ref.properties, vec.properties)
+        return vec, vec_schedule
+
+    ALL_PE_STALL = [(pe, 24, 124) for pe in range(64)]
+
+    def test_stall_gap_fast_forward_engages_and_matches(self):
+        vec, sched = self._differential(pes=self.ALL_PE_STALL)
+        # The window really degraded the run, and the vectorized drain
+        # loop really jumped (boundary queries happen nowhere else).
+        assert vec.stats.degraded_cycles > 0
+        assert sched.boundary_calls > 0
+
+    def test_link_outage_nested_inside_stall_gap(self):
+        # The outage's open/close edges split the fast-forwarded jump;
+        # the mesh is empty there, so degraded/rerouted accounting must
+        # come out exactly as the reference's cycle-by-cycle walk.
+        vec, sched = self._differential(
+            pes=self.ALL_PE_STALL, links=[(9, EAST, 50, 80)]
+        )
+        assert vec.stats.degraded_cycles > 0
+        assert sched.boundary_calls > 0
+
+    def test_fifo_stall_nested_inside_stall_gap(self):
+        vec, sched = self._differential(
+            pes=self.ALL_PE_STALL, fifos=[(18, SOUTH, 40, 90)]
+        )
+        assert vec.stats.degraded_cycles > 0
+        assert sched.boundary_calls > 0
+
+    def test_fifo_stall_freezing_in_flight_drain_traffic(self):
+        # Mesh is NOT inert here: frozen FIFOs hold live packets, so
+        # the drain loop must keep stepping real cycles instead of
+        # fast-forwarding past a state that can still change.
+        vec, _ = self._differential(
+            fifos=[(27, SOUTH, 28, 60), (9, EAST, 30, 55)]
+        )
+        assert vec.stats.total_cycles > 0
+
+    def test_link_outage_rerouting_during_drain(self):
+        vec, _ = self._differential(
+            links=[(9, EAST, 26, 60), (36, SOUTH, 20, 50)]
+        )
+        assert vec.stats.rerouted_packets > 0
+        assert vec.stats.degraded_cycles > 0
 
 
 class TestCycleEngineFallback:
