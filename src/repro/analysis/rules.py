@@ -14,6 +14,9 @@ Each rule encodes one property this reproduction depends on:
 * ``SIM501`` — liveness of the parallel experiment runner: collecting a
   worker result without a timeout turns one crashed worker into a hung
   sweep.
+* ``SIM502`` — liveness of the sweep service: a blocking call inside an
+  ``async def`` freezes the daemon's event loop, stalling every
+  connected client, the admission queue, and the SIGTERM drain at once.
 
 Adding a rule: write a ``check(ctx: FileContext) -> List[Finding]``
 function here and decorate it with :func:`repro.analysis.simlint.register`;
@@ -609,9 +612,24 @@ def unbounded_result_wait(ctx: FileContext) -> List[Finding]:
     rule = _self_rule("SIM501")
     if not _imports_concurrency(ctx.tree):
         return []
+    # A wait wrapped directly in asyncio.wait_for(..., timeout=...) is
+    # already bounded by the wrapper, even though the inner call itself
+    # carries no timeout argument.
+    bounded: set = set()
+    for node in _walk(ctx.tree, ast.Call):
+        assert isinstance(node, ast.Call)
+        name = _dotted_name(node.func)
+        if name is None or name.split(".")[-1] != "wait_for":
+            continue
+        if len(node.args) >= 2 or any(
+            kw.arg == "timeout" for kw in node.keywords
+        ):
+            bounded.update(id(arg) for arg in node.args)
     findings: List[Finding] = []
     for node in _walk(ctx.tree, ast.Call):
         assert isinstance(node, ast.Call)
+        if id(node) in bounded:
+            continue
         if any(kw.arg == "timeout" for kw in node.keywords):
             continue
         # future.result() / AsyncResult.get() with no arguments blocks
@@ -646,6 +664,114 @@ def unbounded_result_wait(ctx: FileContext) -> List[Finding]:
                     f"{last}() without timeout= never returns if a "
                     "worker dies without resolving its future; pass "
                     "timeout= and re-check liveness on expiry",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SIM502: blocking call inside the async service loop
+# ----------------------------------------------------------------------
+
+#: Calls that block the thread, by canonical dotted name.  Inside an
+#: ``async def`` every one of these freezes the entire event loop — in
+#: the sweep daemon that means every connected client, the admission
+#: queue, and the drain handler all stall together.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+    "requests.get",
+    "requests.post",
+    "requests.put",
+    "requests.delete",
+}
+
+#: Async replacements suggested per blocked call family.
+_ASYNC_ALTERNATIVES = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "urllib.request.urlopen": "loop.run_in_executor(...)",
+    "socket.create_connection": "asyncio.open_connection(...)",
+}
+
+
+def _import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> canonical dotted name, for from-imports/aliases.
+
+    Resolves the two spellings that would otherwise dodge the dotted
+    match: ``from time import sleep`` (bare ``sleep(...)``) and
+    ``import subprocess as sp`` (``sp.run(...)``).
+    """
+    aliases: Dict[str, str] = {}
+    for node in _walk(tree, ast.Import, ast.ImportFrom):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        else:
+            assert isinstance(node, ast.ImportFrom)
+            for alias in node.names:
+                full = f"{node.module}.{alias.name}" if node.module else alias.name
+                if full in _BLOCKING_CALLS:
+                    aliases[alias.asname or alias.name] = full
+    return aliases
+
+
+def _async_scope_calls(fn: ast.AST) -> List[ast.Call]:
+    """Call nodes executed *in* an async function's own scope.
+
+    Nested sync ``def``/``lambda`` bodies are excluded (they run
+    wherever they are called, typically shipped to an executor), and so
+    are nested ``async def`` bodies (each async function is audited as
+    its own scope).
+    """
+    calls: List[ast.Call] = []
+    stack: List[ast.AST] = list(getattr(fn, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+@register(
+    "SIM502",
+    Severity.ERROR,
+    "blocking call inside an async function (time.sleep, subprocess, "
+    "urlopen, ...) — freezes the service event loop for every client",
+)
+def blocking_call_in_async(ctx: FileContext) -> List[Finding]:
+    rule = _self_rule("SIM502")
+    aliases = _import_aliases(ctx.tree)
+    findings: List[Finding] = []
+    for fn in _walk(ctx.tree, ast.AsyncFunctionDef):
+        for node in _async_scope_calls(fn):
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            head, _, rest = name.partition(".")
+            resolved = aliases.get(head, head) + (f".{rest}" if rest else "")
+            if resolved not in _BLOCKING_CALLS:
+                continue
+            hint = _ASYNC_ALTERNATIVES.get(
+                resolved, "an executor via loop.run_in_executor(...)"
+            )
+            findings.append(
+                ctx.finding(
+                    rule,
+                    node,
+                    f"{resolved}() blocks the event loop inside async "
+                    f"function {getattr(fn, 'name', '?')!r}; every "
+                    f"connection and timer stalls with it — use {hint}",
                 )
             )
     return findings

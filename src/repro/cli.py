@@ -290,6 +290,134 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: ./tests when present)",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the sweep service daemon",
+        description="Start the long-lived sweep daemon: a local "
+        "HTTP/JSON service that content-addresses submissions against "
+        "the shared result cache, schedules them over a crash-isolated "
+        "worker pool with SLO deadlines and jittered retries, sheds "
+        "load explicitly when its admission queue fills, degrades "
+        "broken config families via per-family circuit breakers, and "
+        "drains gracefully on SIGTERM. See docs/SERVICE.md.",
+    )
+    serve_p.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="durable state root (journal, result cache, endpoint file)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (0 = ephemeral, published in the endpoint file)",
+    )
+    serve_p.add_argument("--workers", type=int, default=2)
+    serve_p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="wall-clock budget per cell attempt",
+    )
+    serve_p.add_argument("--max-attempts", type=int, default=3)
+    serve_p.add_argument(
+        "--backoff-base", type=float, default=0.05, metavar="SECONDS"
+    )
+    serve_p.add_argument(
+        "--backoff-cap", type=float, default=1.0, metavar="SECONDS"
+    )
+    serve_p.add_argument("--queue-capacity", type=int, default=64)
+    serve_p.add_argument("--max-clients", type=int, default=16)
+    serve_p.add_argument("--breaker-threshold", type=int, default=3)
+    serve_p.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS"
+    )
+    serve_p.add_argument("--seed", type=int, default=0)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running daemon",
+        description="Submit one sweep request to a daemon started with "
+        "`repro serve` (discovered through the state dir's endpoint "
+        "file), then wait, stream, or detach.",
+    )
+    submit_p.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="the daemon's state dir (endpoint discovery)",
+    )
+    submit_p.add_argument("--client", default="cli", help="client id")
+    submit_p.add_argument(
+        "-d", "--datasets", nargs="+", default=["PK"], metavar="NAME"
+    )
+    submit_p.add_argument(
+        "-a", "--algorithms", nargs="+", default=["bfs"], metavar="NAME"
+    )
+    submit_p.add_argument(
+        "-s",
+        "--systems",
+        nargs="+",
+        default=["ScalaGraph-512"],
+        metavar="NAME",
+    )
+    submit_p.add_argument("--scale-shift", type=int, default=0)
+    submit_p.add_argument("--max-iterations", type=int, default=None)
+    submit_p.add_argument(
+        "--fidelity", choices=["analytic", "cycle"], default="analytic"
+    )
+    submit_p.add_argument("--fault-seed", type=int, default=None)
+    submit_p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="SLO budget; past it remaining cells degrade",
+    )
+    submit_p.add_argument("--tag", default="")
+    submit_p.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream results as JSONL instead of waiting for the "
+        "final status",
+    )
+    submit_p.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the admission status and detach",
+    )
+
+    soak_p = sub.add_parser(
+        "soak",
+        help="chaos soak a daemon (boots its own)",
+        description="Boot a daemon with chaos hooks armed, replay a "
+        "fault-seeded workload with a worker SIGKILL, a breaker trip, "
+        "a blown deadline, and (by default) a SIGKILL+restart of the "
+        "daemon itself, then audit the journal for zero lost or "
+        "duplicated requests and a clean SIGTERM drain. Exits 0 only "
+        "when every property holds.",
+    )
+    soak_p.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="state dir for the soak daemon (default: a fresh tempdir)",
+    )
+    soak_p.add_argument("--seed", type=int, default=0)
+    soak_p.add_argument(
+        "--no-kill",
+        action="store_true",
+        help="skip the daemon SIGKILL + restart phase",
+    )
+    soak_p.add_argument("--extra-requests", type=int, default=3)
+    soak_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full audit report as JSON",
+    )
+
     sub.add_parser("datasets", help="list the dataset registry")
     return parser
 
@@ -948,6 +1076,107 @@ def cmd_datasets(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    """Run the sweep daemon until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.service.scheduler import ServicePolicy
+    from repro.service.server import ServiceSettings, serve
+
+    policy = ServicePolicy(
+        workers=args.workers,
+        cell_timeout_s=args.cell_timeout,
+        max_attempts=args.max_attempts,
+        backoff_base_s=args.backoff_base,
+        backoff_cap_s=args.backoff_cap,
+        queue_capacity=args.queue_capacity,
+        max_clients=args.max_clients,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        seed=args.seed,
+    )
+
+    def announce(endpoint: dict) -> None:
+        print(json.dumps({"serving": endpoint}), file=out, flush=True)
+
+    return asyncio.run(
+        serve(
+            ServiceSettings(
+                state_dir=args.state_dir, host=args.host, port=args.port
+            ),
+            policy=policy,
+            notify=announce,
+        )
+    )
+
+
+def cmd_submit(args: argparse.Namespace, out) -> int:
+    """Submit one sweep to a running daemon; wait, stream, or detach."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient.from_state_dir(args.state_dir)
+    payload = {
+        "client_id": args.client,
+        "graphs": args.datasets,
+        "algorithms": args.algorithms,
+        "systems": args.systems,
+        "scale_shift": args.scale_shift,
+        "max_iterations": args.max_iterations,
+        "fidelity": args.fidelity,
+        "fault_seed": args.fault_seed,
+        "deadline_s": args.deadline,
+        "tag": args.tag,
+    }
+    http, body = client.submit(payload)
+    if http not in (200, 202):
+        print(json.dumps(body, indent=1), file=out)
+        return 1
+    request_id = body["request_id"]
+    if args.no_wait:
+        print(json.dumps(body, indent=1), file=out)
+        return 0
+    if args.stream:
+        for record in client.stream(request_id):
+            print(json.dumps(record, sort_keys=True), file=out, flush=True)
+        return 0
+    client.wait_done(request_id)
+    _, results = client.results(request_id)
+    print(json.dumps(results, indent=1), file=out)
+    return 0
+
+
+def cmd_soak(args: argparse.Namespace, out) -> int:
+    """Chaos-soak a daemon; exit 0 only when every property holds."""
+    import tempfile
+
+    from repro.service.chaos import SoakSettings, run_soak
+
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro-soak-")
+    report = run_soak(
+        SoakSettings(
+            state_dir=state_dir,
+            seed=args.seed,
+            kill_daemon=not args.no_kill,
+            extra_requests=args.extra_requests,
+        )
+    )
+    if args.as_json:
+        print(json.dumps(report, indent=1, sort_keys=True), file=out)
+    else:
+        verdict = "PASS" if report["ok"] else "FAIL"
+        print(
+            f"soak {verdict}: {report['admitted']} admitted, "
+            f"{report['degraded_cells']} degraded cell(s), "
+            f"{len(report['lost_requests'])} lost, "
+            f"{len(report['duplicate_cells'])} duplicated, "
+            f"breaker trips {report['breaker_trips']}, "
+            f"drain exit {report['drain_exit_code']}, "
+            f"monotone recovery {report['monotone_recovery']}",
+            file=out,
+        )
+    return 0 if report["ok"] else 1
+
+
 _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
@@ -955,6 +1184,9 @@ _COMMANDS = {
     "bench": cmd_bench,
     "faults": cmd_faults,
     "lint": cmd_lint,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "soak": cmd_soak,
     "datasets": cmd_datasets,
 }
 

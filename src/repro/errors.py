@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 
 class ReproError(Exception):
@@ -45,14 +45,106 @@ class WorkerCrashError(ReproError):
 
     Attributes:
         cells: the (graph, algorithm, system) triples left uncomputed.
+        causes: per-cell original failure context — the exception that
+            made the cell's *last* attempt fail (a ``BrokenProcessPool``
+            for a SIGKILLed worker, a synthesized ``TimeoutError`` for a
+            cell that blew its wall-clock budget).  Keys are the same
+            triples as :attr:`cells`; cells whose cause was not
+            captured are absent.  The first available cause is also
+            chained as ``__cause__`` so tracebacks show what actually
+            went wrong inside the pool, not just the give-up.
     """
 
-    def __init__(self, cells) -> None:
+    def __init__(
+        self,
+        cells: Iterable[Tuple[str, str, str]],
+        causes: Optional[
+            Mapping[Tuple[str, str, str], BaseException]
+        ] = None,
+    ) -> None:
         self.cells = list(cells)
+        self.causes: Dict[Tuple[str, str, str], BaseException] = dict(
+            causes or {}
+        )
         labels = ", ".join("/".join(cell) for cell in self.cells)
+        detail = ""
+        if self.causes:
+            shown = sorted(
+                {
+                    f"{type(exc).__name__}: {exc}"
+                    if str(exc)
+                    else type(exc).__name__
+                    for exc in self.causes.values()
+                }
+            )
+            detail = f" (causes: {'; '.join(shown)})"
         super().__init__(
             f"{len(self.cells)} cell(s) failed after exhausting retries: "
-            f"{labels}"
+            f"{labels}{detail}"
+        )
+
+
+class ServiceError(ReproError):
+    """Base class for sweep-service (``repro.service``) errors."""
+
+
+class ProtocolError(ServiceError):
+    """A service request/response payload is malformed or invalid.
+
+    Maps to an HTTP 400: the submission itself is wrong (unknown
+    dataset/algorithm/system, bad field types, chaos hooks without the
+    chaos gate), as opposed to a well-formed request the service cannot
+    currently take on (:class:`AdmissionError`).
+    """
+
+
+class AdmissionError(ServiceError):
+    """The service refused to enqueue a well-formed request.
+
+    Maps to an HTTP 429 (admission queue full, client table full) or
+    503 (draining).  Load shedding is explicit by design: the caller
+    learns immediately instead of queueing into an unbounded backlog.
+
+    Attributes:
+        reason: machine-readable refusal category (``queue-full``,
+            ``client-table-full``, ``draining``).
+        retry_after_s: suggested client backoff in seconds.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float = 1.0) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"request not admitted ({reason}); retry after "
+            f"{retry_after_s:g}s"
+        )
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's SLO deadline expired before its work completed.
+
+    Attributes:
+        budget_s: the deadline budget the request carried, in seconds.
+    """
+
+    def __init__(self, message: str, budget_s: Optional[float] = None) -> None:
+        self.budget_s = budget_s
+        super().__init__(message)
+
+
+class CircuitOpenError(ServiceError):
+    """A config-family's circuit breaker is open; full-fidelity
+    execution is being shed for that family.
+
+    Attributes:
+        family: the tripped config-family label.
+    """
+
+    def __init__(self, family: str) -> None:
+        self.family = family
+        super().__init__(
+            f"circuit breaker open for config family {family!r}; "
+            "serving degraded responses"
         )
 
 

@@ -322,16 +322,27 @@ def _run_jobs_pooled(
 
     pending: Deque[Tuple[_CellJob, int]] = deque((job, 0) for job in jobs)
     failed: List[_CellJob] = []
+    # Last failure context per job, so a cell given up on after N pool
+    # rebuilds still reports *why* its attempts failed (the original
+    # BrokenProcessPool / timeout), not just a bare give-up.
+    last_cause: Dict[_CellJob, BaseException] = {}
 
     def record(job: _CellJob, results) -> None:
         graph_name, algorithm_name, _ = job
+        last_cause.pop(job, None)
         for system_label, report in results:
             key = (graph_name, algorithm_name, system_label)
             out[key] = report
             if on_result is not None:
                 on_result(key, report)
 
-    def requeue(job: _CellJob, attempts: int) -> None:
+    def requeue(
+        job: _CellJob,
+        attempts: int,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        if cause is not None:
+            last_cause[job] = cause
         if attempts > policy.max_retries:
             failed.append(job)
             return
@@ -359,9 +370,9 @@ def _run_jobs_pooled(
                                 scale_shift,
                                 max_iterations,
                             )
-                        except BrokenProcessPool:
+                        except BrokenProcessPool as exc:
                             broken = True
-                            requeue(job, attempts + 1)
+                            requeue(job, attempts + 1, cause=exc)
                             break
                         deadline = (
                             None
@@ -378,11 +389,11 @@ def _run_jobs_pooled(
                         job, attempts, _ = inflight.pop(future)
                         try:
                             results = future.result(timeout=0)
-                        except BrokenProcessPool:
+                        except BrokenProcessPool as exc:
                             # A worker died; this future may be the
                             # victim or a bystander — both retry.
                             broken = True
-                            requeue(job, attempts + 1)
+                            requeue(job, attempts + 1, cause=exc)
                         else:
                             record(job, results)
                     if broken:
@@ -399,7 +410,15 @@ def _run_jobs_pooled(
                             # Already running: the only way to reclaim
                             # the worker is to tear the pool down.
                             broken = True
-                        requeue(job, attempts + 1)
+                        requeue(
+                            job,
+                            attempts + 1,
+                            cause=TimeoutError(
+                                f"cell {job[0]}/{job[1]} exceeded its "
+                                f"{policy.cell_timeout:g}s wall-clock "
+                                "budget"
+                            ),
+                        )
             finally:
                 # Whatever is still in flight goes back to the queue: a
                 # cancelled-before-start cell keeps its attempt count, a
@@ -433,12 +452,25 @@ def _run_jobs_pooled(
                 on_result=on_result,
             )
         else:
-            raise WorkerCrashError(
+            cells = [
                 (graph_name, algorithm_name, system_label)
                 for graph_name, algorithm_name, missing in failed
                 for system_label in missing
                 if (graph_name, algorithm_name, system_label) not in out
-            )
+            ]
+            causes = {
+                (graph_name, algorithm_name, system_label): last_cause[
+                    (graph_name, algorithm_name, missing)
+                ]
+                for graph_name, algorithm_name, missing in failed
+                for system_label in missing
+                if (graph_name, algorithm_name, missing) in last_cause
+                and (graph_name, algorithm_name, system_label) not in out
+            }
+            error = WorkerCrashError(cells, causes=causes)
+            # Chain the first original failure so the traceback shows
+            # what actually broke inside the pool.
+            raise error from next(iter(causes.values()), None)
 
 
 def _still_missing(

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -33,6 +35,9 @@ from repro.graph.datasets import DATASETS
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+#: Attempts one ``put`` makes before propagating a persistent OSError.
+_PUT_ATTEMPTS = 3
 
 #: Version stamp mixed into every cache key.  The package version covers
 #: intentional releases; the trailing revision must be bumped whenever a
@@ -240,7 +245,20 @@ class ResultCache:
         scale_shift: int = 0,
         max_iterations: Optional[int] = None,
     ) -> None:
-        """Persist one cell's report (atomically: write + rename)."""
+        """Persist one cell's report, safely under concurrent writers.
+
+        Multiple processes may put the same key at once (daemon workers
+        racing a batch CLI sweep), so the staging file must be unique
+        per writer: a shared ``<key>.tmp`` would let two writers
+        interleave partial content before one of them renames it into
+        place.  Each call therefore stages through its own
+        ``mkstemp``-created file, fsyncs it, and publishes with the
+        atomic ``os.replace`` — readers only ever observe a complete
+        payload (last writer wins).  A transient ``OSError`` on the
+        rename (e.g. a concurrent ``clear()`` removing the directory
+        entry) is retried a couple of times before propagating; the
+        staging file is always cleaned up.
+        """
         key = self.key(
             graph_name, algorithm, system, scale_shift, max_iterations
         )
@@ -257,10 +275,36 @@ class ResultCache:
             "report": report.to_dict(include_iterations=True),
         }
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
-        self.stats.stores += 1
+        text = json.dumps(payload)
+        last_error: Optional[OSError] = None
+        for _ in range(_PUT_ATTEMPTS):
+            try:
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=self.root, prefix=".put-", suffix=".tmp"
+                )
+            except OSError as exc:
+                # Cache directory vanished under us (concurrent clear):
+                # recreate and retry.
+                last_error = exc
+                self.root.mkdir(parents=True, exist_ok=True)
+                continue
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(text)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp_name, path)
+            except OSError as exc:
+                last_error = exc
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass  # best-effort staging cleanup
+                continue
+            self.stats.stores += 1
+            return
+        assert last_error is not None
+        raise last_error
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -286,11 +330,18 @@ class ResultCache:
         return removed
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Also sweeps stale ``.put-*.tmp`` staging files left behind by
+        writers that crashed between ``mkstemp`` and ``os.replace``
+        (they are harmless — never read — but accumulate).
+        """
         removed = 0
         for path in self.root.glob("*.json"):
             path.unlink(missing_ok=True)
             removed += 1
+        for path in self.root.glob(".put-*.tmp"):
+            path.unlink(missing_ok=True)
         return removed
 
 

@@ -1,0 +1,181 @@
+"""Bounded admission queue with weighted round-robin client fairness.
+
+The daemon's first line of defence: every submission passes through one
+:class:`AdmissionQueue` before any work is scheduled.  Two properties
+are load-bearing for robustness:
+
+* **Bounded depth with explicit shedding.**  A full queue refuses new
+  work with :class:`~repro.errors.AdmissionError` (the server maps it
+  to HTTP 429 + ``Retry-After``) instead of building an unbounded
+  backlog that converts overload into latency collapse and OOM.
+* **Weighted round-robin fairness.**  Dequeue order interleaves
+  clients by the *smooth WRR* credit scheme: each pick, every client
+  with pending work earns its weight in credit, the richest client is
+  served, and the winner pays back the total active weight.  A client
+  flooding the queue therefore cannot starve the others — it only
+  fills its own share — and the schedule is deterministic (no RNG),
+  so replaying a soak workload replays the exact service order.
+
+State is a struct-of-arrays over client slots (depths, weights,
+credits, counters) so ``/api/v1/stats`` snapshots are O(clients) numpy
+reads, with the dtype contract declared in :data:`BUFFER_DTYPES`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AdmissionError
+
+#: Declared dtype contract for the per-client-slot state arrays
+#: (SIM604 checks every allocation site against this table).
+BUFFER_DTYPES = {
+    "_weights": "float64",
+    "_credits": "float64",
+    "_depths": "int64",
+    "_admitted": "int64",
+    "_shed": "int64",
+}
+
+
+class AdmissionQueue:
+    """Bounded multi-client queue with smooth-WRR dequeue order.
+
+    Args:
+        capacity: total pending items across all clients; an ``offer``
+            beyond it sheds with ``reason="queue-full"``.
+        max_clients: client-slot table size; a new client beyond it
+            sheds with ``reason="client-table-full"`` (slots are never
+            reclaimed — client ids are expected to be few and stable).
+        default_weight: WRR weight assigned to unseen clients.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        max_clients: int = 16,
+        default_weight: float = 1.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if max_clients <= 0:
+            raise ValueError("max_clients must be positive")
+        self.capacity = capacity
+        self.max_clients = max_clients
+        self.default_weight = float(default_weight)
+        self.draining = False
+        self._slots: Dict[str, int] = {}
+        self._pending: List[Deque[Any]] = [
+            deque() for _ in range(max_clients)
+        ]
+        self._weights = np.zeros(max_clients, dtype=np.float64)
+        self._credits = np.zeros(max_clients, dtype=np.float64)
+        self._depths = np.zeros(max_clients, dtype=np.int64)
+        self._admitted = np.zeros(max_clients, dtype=np.int64)
+        self._shed = np.zeros(max_clients, dtype=np.int64)
+        self._total_shed = 0
+
+    # ------------------------------------------------------------------
+    # Client slots
+    # ------------------------------------------------------------------
+    def register(self, client_id: str, weight: Optional[float] = None) -> int:
+        """Ensure ``client_id`` has a slot; returns its index.
+
+        Raises :class:`AdmissionError` (``client-table-full``) when the
+        slot table is exhausted.  Re-registering an existing client may
+        update its weight.
+        """
+        slot = self._slots.get(client_id)
+        if slot is None:
+            if len(self._slots) >= self.max_clients:
+                self._total_shed += 1
+                raise AdmissionError("client-table-full", retry_after_s=5.0)
+            slot = len(self._slots)
+            self._slots[client_id] = slot
+            self._weights[slot] = self.default_weight
+        if weight is not None:
+            if weight <= 0:
+                raise ValueError("client weight must be positive")
+            self._weights[slot] = float(weight)
+        return slot
+
+    # ------------------------------------------------------------------
+    # Offer / take
+    # ------------------------------------------------------------------
+    def offer(self, client_id: str, item: Any, force: bool = False) -> int:
+        """Admit one item for ``client_id``; returns the queue depth.
+
+        Raises :class:`AdmissionError` with reason ``draining`` (the
+        daemon is shutting down), ``queue-full``, or
+        ``client-table-full`` — admission is all-or-nothing and the
+        caller learns why immediately.  ``force`` bypasses the depth
+        and draining gates (never the slot table): journal recovery
+        re-admits previously accepted work, and work the service
+        already accepted must not be sheddable on re-boot.
+        """
+        if self.draining and not force:
+            raise AdmissionError("draining", retry_after_s=5.0)
+        slot = self.register(client_id)
+        if not force and int(self._depths.sum()) >= self.capacity:
+            self._shed[slot] += 1
+            self._total_shed += 1
+            raise AdmissionError("queue-full", retry_after_s=1.0)
+        self._pending[slot].append(item)
+        self._depths[slot] += 1
+        self._admitted[slot] += 1
+        return int(self._depths.sum())
+
+    def take(self) -> Optional[Tuple[str, Any]]:
+        """Dequeue the next ``(client_id, item)`` in smooth-WRR order.
+
+        Returns None when the queue is empty.  Each call credits every
+        active client its weight, serves the richest, and charges the
+        winner the total active weight — over time each active client
+        receives service proportional to its weight, with ties broken
+        by slot order (first registration wins), keeping the schedule
+        fully deterministic.
+        """
+        active = np.flatnonzero(self._depths > 0)
+        if active.size == 0:
+            return None
+        self._credits[active] += self._weights[active]
+        winner = int(active[np.argmax(self._credits[active])])
+        self._credits[winner] -= float(self._weights[active].sum())
+        item = self._pending[winner].popleft()
+        self._depths[winner] -= 1
+        client_id = next(
+            cid for cid, slot in self._slots.items() if slot == winner
+        )
+        return client_id, item
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._depths.sum())
+
+    def depth(self, client_id: str) -> int:
+        slot = self._slots.get(client_id)
+        return 0 if slot is None else int(self._depths[slot])
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Queue state for the health/stats endpoints."""
+        per_client = {
+            cid: {
+                "depth": int(self._depths[slot]),
+                "weight": float(self._weights[slot]),
+                "admitted": int(self._admitted[slot]),
+                "shed": int(self._shed[slot]),
+            }
+            for cid, slot in sorted(self._slots.items())
+        }
+        return {
+            "depth": len(self),
+            "capacity": self.capacity,
+            "draining": self.draining,
+            "shed_total": self._total_shed,
+            "clients": per_client,
+        }

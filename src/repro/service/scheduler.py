@@ -1,0 +1,853 @@
+"""The sweep service's execution core: journal, pool, SLOs, degradation.
+
+:class:`SweepScheduler` owns everything between admission and response:
+
+* a **durable journal** (:class:`ServiceJournal`) — an fsync'd
+  append-only JSONL file recording every admitted request, every
+  finished cell, and every completed request.  Like
+  :class:`~repro.experiments.checkpoint.SweepCheckpoint` it tolerates a
+  torn tail (a daemon SIGKILLed mid-write loses at most the record
+  being written); on boot the valid prefix is replayed, unfinished
+  requests are re-admitted, and their already-journaled cells are
+  *not* re-executed — the monotone-recovery property the chaos soak
+  asserts.
+* a **worker pool** with crash isolation: cells run in a
+  ``ProcessPoolExecutor``; a SIGKILLed worker breaks the pool
+  (``BrokenProcessPool``), which the scheduler absorbs by rebuilding
+  the pool and retrying the cell under jittered exponential backoff.
+* **SLO deadline propagation**: a request's ``deadline_s`` budget is
+  anchored at admission and converted into per-cell timeouts
+  (``min(cell_timeout_s, remaining)``); once the budget is spent the
+  remaining cells return *degraded* analytic results instead of
+  queueing unbounded work behind a blown deadline.
+* **graceful degradation** via the per-family circuit breakers: cells
+  whose family is open — or whose own retries are exhausted — are
+  answered by the in-process analytic model, marked
+  ``degraded: true`` with a machine-readable reason.  Every admitted
+  cell yields exactly one record: completed, degraded, or (when even
+  the analytic fallback fails) an explicit error record.
+
+The scheduler is single-loop asyncio; cells of one request run
+concurrently up to the pool width, requests are served in the
+admission queue's weighted round-robin order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    CircuitOpenError,
+    ProtocolError,
+    ReproError,
+    SanitizerError,
+)
+from repro.experiments.parallel import _terminate_pool
+from repro.experiments.runner import execute_cell
+from repro.experiments.store import CODE_MODEL_VERSION, ResultCache
+from repro.graph.datasets import stable_seed
+from repro.service.breaker import BreakerPolicy, CircuitBreakerBank
+from repro.service.protocol import (
+    DEGRADED_BREAKER_OPEN,
+    DEGRADED_DEADLINE,
+    DEGRADED_RETRIES_EXHAUSTED,
+    PROTOCOL_VERSION,
+    STATE_DONE,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    SweepRequest,
+    cell_record,
+    request_key,
+)
+from repro.service.queue import AdmissionQueue
+
+_JOURNAL_SCHEMA = "repro-service-journal/1"
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (module-level: must pickle across the pool)
+# ----------------------------------------------------------------------
+#: Cycle-accurate stand-in meshes per system label.  The service's
+#: cycle fidelity runs a single-tile twin sized for interactive
+#: latency; the label still selects distinct hardware (column count),
+#: mirroring how ScalaGraph-128/512 differ by columns.
+_CYCLE_MESH: Dict[str, Tuple[int, int]] = {
+    "ScalaGraph-128": (4, 4),
+    "ScalaGraph-512": (4, 8),
+}
+
+
+def _chaos_maybe_crash(chaos: Tuple[str, ...], chaos_dir: str, request_id: str) -> None:
+    """Honour the ``worker-crash-once`` hook: SIGKILL self, once.
+
+    The one-shot latch is an ``O_CREAT|O_EXCL`` flag file keyed by
+    request id, so exactly one worker dies per request no matter how
+    many cells race — the atomic create *is* the election.
+    """
+    if "worker-crash-once" not in chaos:
+        return
+    flag = os.path.join(chaos_dir, f"crashed-{request_id}")
+    try:
+        fd = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return  # someone already took the bullet for this request
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _summarise_report(report: Any) -> Dict[str, Any]:
+    """The compact wire summary of one analytic SimulationReport."""
+    return {
+        "fidelity": "analytic",
+        "gteps": float(report.gteps),
+        "total_cycles": float(report.total_cycles),
+        "total_edges_traversed": int(report.total_edges_traversed),
+        "iterations": len(report.iterations),
+    }
+
+
+def _analytic_cell(
+    graph: str,
+    algorithm: str,
+    systems: Tuple[str, ...],
+    scale_shift: int,
+    max_iterations: Optional[int],
+    cache_dir: Optional[str],
+) -> List[Tuple[str, Dict[str, Any], bool]]:
+    """Run one cell's systems analytically, through the result cache."""
+    cache = ResultCache(cache_dir) if cache_dir else None
+    out: List[Tuple[str, Dict[str, Any], bool]] = []
+    missing: List[str] = []
+    for system in systems:
+        report = (
+            cache.get(graph, algorithm, system, scale_shift, max_iterations)
+            if cache
+            else None
+        )
+        if report is not None:
+            out.append((system, _summarise_report(report), True))
+        else:
+            missing.append(system)
+    if missing:
+        for system, report in execute_cell(
+            graph, algorithm, missing, scale_shift, max_iterations
+        ):
+            if cache:
+                cache.put(
+                    graph,
+                    algorithm,
+                    system,
+                    report,
+                    scale_shift,
+                    max_iterations,
+                )
+            out.append((system, _summarise_report(report), False))
+    order = {system: rank for rank, system in enumerate(systems)}
+    out.sort(key=lambda entry: order[entry[0]])
+    return out
+
+
+def _cycle_cell(
+    graph: str,
+    algorithm: str,
+    systems: Tuple[str, ...],
+    scale_shift: int,
+    max_iterations: Optional[int],
+    fault_seed: Optional[int],
+) -> List[Tuple[str, Dict[str, Any], bool]]:
+    """Run one cell's systems on the cycle-accurate twin (never cached)."""
+    from repro.algorithms import make_algorithm
+    from repro.core import ScalaGraphConfig
+    from repro.core.cycle_sim import CycleAccurateScalaGraph
+    from repro.experiments.runner import load_benchmark_graph
+    from repro.faults import FaultConfig, FaultSchedule
+
+    graph_obj = load_benchmark_graph(graph, algorithm, scale_shift)
+    out: List[Tuple[str, Dict[str, Any], bool]] = []
+    for system in systems:
+        rows, cols = _CYCLE_MESH[system]
+        hardware = ScalaGraphConfig(num_tiles=1, pe_rows=rows, pe_cols=cols)
+        sim = CycleAccurateScalaGraph(hardware)
+        if fault_seed is not None:
+            schedule = FaultSchedule(
+                sim.topology,
+                FaultConfig(seed=fault_seed, pe_stalls=1),
+            )
+            sim = CycleAccurateScalaGraph(hardware, faults=schedule)
+        program = make_algorithm(algorithm)
+        result = sim.run(program, graph_obj, max_iterations)
+        stats = result.stats
+        out.append(
+            (
+                system,
+                {
+                    "fidelity": "cycle",
+                    "total_cycles": int(stats.total_cycles),
+                    "iterations": int(stats.iterations),
+                    "updates_processed": int(stats.updates_processed),
+                    "updates_coalesced": int(stats.updates_coalesced),
+                    "degraded_cycles": int(stats.degraded_cycles),
+                    "rerouted_packets": int(stats.rerouted_packets),
+                    "converged": bool(result.converged),
+                },
+                False,
+            )
+        )
+    return out
+
+
+def _service_cell_worker(
+    graph: str,
+    algorithm: str,
+    systems: Tuple[str, ...],
+    scale_shift: int,
+    max_iterations: Optional[int],
+    fidelity: str,
+    fault_seed: Optional[int],
+    cache_dir: Optional[str],
+    chaos: Tuple[str, ...],
+    chaos_dir: str,
+    request_id: str,
+) -> List[Tuple[str, Dict[str, Any], bool]]:
+    """Pool entry point: one (graph, algorithm) cell, all its systems.
+
+    Returns ``[(system, summary, cached), ...]``.  Chaos hooks fire
+    first — a crash must look exactly like a real worker death (the
+    result never materialises), and a ``fail`` hook must exercise the
+    same exception path a real :class:`SanitizerError` would.
+    """
+    _chaos_maybe_crash(chaos, chaos_dir, request_id)
+    if "fail" in chaos:
+        raise SanitizerError(
+            "chaos-fail",
+            f"chaos hook 'fail' armed for request {request_id}",
+            context="service",
+        )
+    if fidelity == "cycle":
+        return _cycle_cell(
+            graph, algorithm, systems, scale_shift, max_iterations, fault_seed
+        )
+    return _analytic_cell(
+        graph, algorithm, systems, scale_shift, max_iterations, cache_dir
+    )
+
+
+# ----------------------------------------------------------------------
+# Durable journal
+# ----------------------------------------------------------------------
+@dataclass
+class JournalReplay:
+    """The valid prefix of a service journal, parsed.
+
+    ``valid_bytes`` is the byte length of that prefix — recovery
+    truncates the file there before appending, so one torn tail cannot
+    poison the next record.
+    """
+
+    requests: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    cells: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    done: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    valid_bytes: int = 0
+
+
+def replay_journal(path: Path) -> JournalReplay:
+    """Parse a journal's valid prefix; tolerant of any torn tail.
+
+    Reading stops at the first line that is incomplete (no trailing
+    newline), fails to decode, or is not an object — everything before
+    it is trusted (each record was fsync'd before the next began).  An
+    unrecognised header schema discards the whole file (fail-safe: an
+    incompatible journal must not be half-replayed).
+    """
+    replay = JournalReplay()
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return replay
+    offset = 0
+    first = True
+    while offset < len(raw):
+        end = raw.find(b"\n", offset)
+        if end < 0:
+            break  # torn tail: record was being written when we died
+        line = raw[offset : end + 1]
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            break
+        if not isinstance(record, dict):
+            break
+        if first:
+            if record.get("schema") != _JOURNAL_SCHEMA:
+                return JournalReplay()
+            first = False
+        else:
+            kind = record.get("kind")
+            request_id = record.get("request_id")
+            if not isinstance(request_id, str):
+                break
+            if kind == "request":
+                replay.requests[request_id] = record.get("request", {})
+            elif kind == "cell":
+                replay.cells.setdefault(request_id, []).append(record)
+            elif kind == "done":
+                replay.done[request_id] = record
+            else:
+                break
+        offset = end + 1
+        replay.valid_bytes = offset
+    return replay
+
+
+class ServiceJournal:
+    """Append-only fsync'd JSONL journal of the service's commitments.
+
+    Every ``append`` is flush+fsync before returning, so a record the
+    scheduler believes durable *is* durable — the property that lets
+    the soak harness SIGKILL the daemon at arbitrary points and still
+    demand zero lost requests.
+    """
+
+    def __init__(self, path: Path, valid_bytes: int = 0) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or valid_bytes == 0
+        self._fh = open(self.path, "a+b")
+        self._fh.seek(0, os.SEEK_END)
+        if not fresh and self._fh.tell() > valid_bytes:
+            # Torn tail from a previous incarnation: drop it before the
+            # next append would glue two half-records together.
+            self._fh.truncate(valid_bytes)
+            self._fh.seek(0, os.SEEK_END)
+        if fresh:
+            self._fh.truncate(0)
+            self.append(
+                {"schema": _JOURNAL_SCHEMA, "model_version": CODE_MODEL_VERSION}
+            )
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True).encode() + b"\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Tunables of one :class:`SweepScheduler`.
+
+    Attributes:
+        workers: process-pool width (also the per-request cell
+            concurrency cap).
+        cell_timeout_s: wall-clock budget of one cell attempt; an
+            expiry tears the pool down (the only way to reclaim a hung
+            worker) and counts as a failure.
+        max_attempts: attempts per cell before degrading with reason
+            ``retries-exhausted``.
+        backoff_base_s: first retry delay; doubles per attempt.
+        backoff_cap_s: upper bound on any retry delay.
+        queue_capacity: admission queue depth before 429 shedding.
+        max_clients: admission queue client-slot table size.
+        breaker_threshold: consecutive family failures that open the
+            circuit breaker.
+        breaker_cooldown_s: seconds an open breaker sheds before the
+            half-open probe.
+        seed: root of the jittered-backoff RNG stream (deterministic
+            replays for the soak harness).
+    """
+
+    workers: int = 2
+    cell_timeout_s: float = 60.0
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    queue_capacity: int = 64
+    max_clients: int = 16
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    seed: int = 0
+
+
+class _RequestState:
+    """In-memory lifecycle of one admitted request."""
+
+    def __init__(self, request_id: str, request: SweepRequest) -> None:
+        self.request_id = request_id
+        self.request = request
+        self.state = STATE_QUEUED
+        self.records: List[Dict[str, Any]] = []
+        self.deadline: Optional[float] = None
+        if request.deadline_s is not None:
+            self.deadline = time.monotonic() + float(request.deadline_s)
+        self.cond = asyncio.Condition()
+
+    def status(self, deduped: bool = False) -> Dict[str, Any]:
+        total = len(self.request.cells()) * len(self.request.systems)
+        degraded = sum(1 for r in self.records if r.get("degraded"))
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "request_id": self.request_id,
+            "state": self.state,
+            "deduped": deduped,
+            "client_id": self.request.client_id,
+            "cells_total": total,
+            "cells_done": len(self.records),
+            "cells_degraded": degraded,
+        }
+
+
+class SweepScheduler:
+    """Admission, execution, durability, and degradation in one loop.
+
+    Args:
+        state_dir: root of the daemon's durable state — the journal,
+            the shared result cache, and the chaos latch directory all
+            live under it; point a restarted daemon at the same
+            directory to resume.
+        policy: tunables (:class:`ServicePolicy`).
+        chaos_enabled: honour request chaos hooks (the soak harness
+            sets this via ``REPRO_SERVICE_CHAOS=1``); disabled, a
+            chaotic submission is a protocol error.
+    """
+
+    def __init__(
+        self,
+        state_dir: Path,
+        policy: Optional[ServicePolicy] = None,
+        chaos_enabled: bool = False,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.policy = policy or ServicePolicy()
+        self.chaos_enabled = chaos_enabled
+        self.cache_dir = self.state_dir / "cache"
+        self.chaos_dir = self.state_dir / "chaos"
+        self.chaos_dir.mkdir(parents=True, exist_ok=True)
+        self.queue = AdmissionQueue(
+            capacity=self.policy.queue_capacity,
+            max_clients=self.policy.max_clients,
+        )
+        self.breakers = CircuitBreakerBank(
+            BreakerPolicy(
+                failure_threshold=self.policy.breaker_threshold,
+                cooldown_s=self.policy.breaker_cooldown_s,
+            )
+        )
+        self.requests: Dict[str, _RequestState] = {}
+        self.recovered_requests = 0
+        self._rng = np.random.default_rng(
+            stable_seed(f"service-backoff:{self.policy.seed}")
+        )
+        self._journal: Optional[ServiceJournal] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._pool_lock = asyncio.Lock()
+        self._wake = asyncio.Event()
+        self._loop_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self.drained = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        return self.state_dir / "journal.jsonl"
+
+    async def start(self) -> None:
+        """Replay the journal, re-admit unfinished work, start the loop."""
+        replay = replay_journal(self.journal_path)
+        self._journal = ServiceJournal(
+            self.journal_path, valid_bytes=replay.valid_bytes
+        )
+        for request_id, wire in replay.requests.items():
+            try:
+                request = SweepRequest.from_wire(wire)
+            except ProtocolError:
+                continue  # journaled under an older registry; skip
+            state = _RequestState(request_id, request)
+            state.records = list(replay.cells.get(request_id, []))
+            if request_id in replay.done:
+                state.state = STATE_DONE
+            else:
+                # Unfinished: re-admit, bypassing capacity — this work
+                # was already accepted once and must not be shed now.
+                self.queue.offer(request.client_id, request_id, force=True)
+                self.recovered_requests += 1
+            self.requests[request_id] = state
+        self._loop_task = asyncio.create_task(self._run_loop())
+
+    async def drain(self) -> None:
+        """Stop admitting, finish the in-flight request, fsync, stop.
+
+        Queued-but-unstarted requests stay journaled; the next boot
+        re-admits them.  Idempotent.
+        """
+        self._draining = True
+        self.queue.draining = True
+        self._wake.set()
+        if self._loop_task is not None:
+            await self._loop_task
+            self._loop_task = None
+        async with self._pool_lock:
+            if self._pool is not None:
+                _terminate_pool(self._pool)
+                self._pool = None
+        if self._journal is not None:
+            self._journal.close()
+        self.drained = True
+
+    # ------------------------------------------------------------------
+    # API surface (called by the HTTP layer)
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> Dict[str, Any]:
+        """Validate, de-dupe, admit, and journal one submission.
+
+        Raises :class:`~repro.errors.ProtocolError` (400) or
+        :class:`~repro.errors.AdmissionError` (429/503); on success
+        returns the request's status object.  A content-identical
+        resubmission returns the existing request — whatever its state
+        — with ``deduped: true`` and costs no queue slot.
+        """
+        request = SweepRequest.from_wire(payload)
+        if request.chaos and not self.chaos_enabled:
+            raise ProtocolError(
+                "chaos hooks require the daemon to run with "
+                "REPRO_SERVICE_CHAOS=1"
+            )
+        request_id = request_key(request)
+        existing = self.requests.get(request_id)
+        if existing is not None:
+            return existing.status(deduped=True)
+        self.queue.offer(request.client_id, request_id)
+        state = _RequestState(request_id, request)
+        self.requests[request_id] = state
+        assert self._journal is not None, "scheduler not started"
+        self._journal.append(
+            {
+                "kind": "request",
+                "request_id": request_id,
+                "request": request.to_wire(),
+            }
+        )
+        self._wake.set()
+        return state.status()
+
+    def status(self, request_id: str) -> Optional[Dict[str, Any]]:
+        state = self.requests.get(request_id)
+        return None if state is None else state.status()
+
+    def results(self, request_id: str) -> Optional[List[Dict[str, Any]]]:
+        state = self.requests.get(request_id)
+        return None if state is None else list(state.records)
+
+    async def stream(self, request_id: str) -> AsyncIterator[Dict[str, Any]]:
+        """Yield a request's records as they land, then a ``done`` line.
+
+        The stream is complete and duplicate-free regardless of when
+        the client attaches: records already emitted are replayed
+        first, live ones follow, and the terminal line carries the
+        final counts.
+        """
+        state = self.requests[request_id]
+        index = 0
+        while True:
+            while index < len(state.records):
+                yield state.records[index]
+                index += 1
+            if state.state == STATE_DONE:
+                yield {
+                    "kind": "done",
+                    "request_id": request_id,
+                    "cells": len(state.records),
+                    "degraded": sum(
+                        1 for r in state.records if r.get("degraded")
+                    ),
+                }
+                return
+            async with state.cond:
+                if index >= len(state.records) and state.state != STATE_DONE:
+                    try:
+                        await asyncio.wait_for(state.cond.wait(), timeout=0.5)
+                    except (asyncio.TimeoutError, TimeoutError):
+                        pass  # periodic re-check; progress, not a wakeup bug
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot for ``/api/v1/stats`` and readiness."""
+        states: Dict[str, int] = {}
+        for state in self.requests.values():
+            states[state.state] = states.get(state.state, 0) + 1
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "model_version": CODE_MODEL_VERSION,
+            "draining": self._draining,
+            "queue": self.queue.snapshot(),
+            "breakers": self.breakers.snapshot(),
+            "requests": states,
+            "recovered_requests": self.recovered_requests,
+            "pool_generation": self._pool_generation,
+            "chaos_enabled": self.chaos_enabled,
+        }
+
+    # ------------------------------------------------------------------
+    # Execution loop
+    # ------------------------------------------------------------------
+    async def _run_loop(self) -> None:
+        while True:
+            if self._draining:
+                return
+            taken = self.queue.take()
+            if taken is None:
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=0.25)
+                except (asyncio.TimeoutError, TimeoutError):
+                    pass  # idle poll; drain flag is re-checked above
+                continue
+            _, request_id = taken
+            await self._execute_request(self.requests[request_id])
+
+    async def _execute_request(self, state: _RequestState) -> None:
+        state.state = STATE_RUNNING
+        request = state.request
+        already = {
+            (r["graph"], r["algorithm"], r["system"]) for r in state.records
+        }
+        gate = asyncio.Semaphore(max(1, self.policy.workers))
+
+        async def run_one(graph: str, algorithm: str) -> None:
+            systems = tuple(
+                s
+                for s in request.systems
+                if (graph, algorithm, s) not in already
+            )
+            if not systems:
+                return
+            async with gate:
+                records = await self._execute_cell(
+                    state, graph, algorithm, systems
+                )
+            for record in records:
+                await self._emit(state, record)
+
+        tasks = [
+            asyncio.create_task(run_one(graph, algorithm))
+            for graph, algorithm in request.cells()
+        ]
+        if tasks:
+            await asyncio.gather(*tasks)
+        assert self._journal is not None
+        self._journal.append(
+            {
+                "kind": "done",
+                "request_id": state.request_id,
+                "cells": len(state.records),
+                "degraded": sum(
+                    1 for r in state.records if r.get("degraded")
+                ),
+            }
+        )
+        async with state.cond:
+            state.state = STATE_DONE
+            state.cond.notify_all()
+
+    async def _emit(self, state: _RequestState, record: Dict[str, Any]) -> None:
+        assert self._journal is not None
+        self._journal.append(record)
+        async with state.cond:
+            state.records.append(record)
+            state.cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # One cell
+    # ------------------------------------------------------------------
+    async def _execute_cell(
+        self,
+        state: _RequestState,
+        graph: str,
+        algorithm: str,
+        systems: Tuple[str, ...],
+    ) -> List[Dict[str, Any]]:
+        request = state.request
+        family = f"{algorithm}:{request.fidelity}"
+        if state.deadline is not None and time.monotonic() >= state.deadline:
+            return self._degraded(state, graph, algorithm, systems, DEGRADED_DEADLINE, 0)
+        try:
+            self.breakers.admit(family, time.monotonic())
+        except CircuitOpenError:
+            return self._degraded(
+                state, graph, algorithm, systems, DEGRADED_BREAKER_OPEN, 0
+            )
+        attempts = 0
+        while attempts < self.policy.max_attempts:
+            attempts += 1
+            timeout = self.policy.cell_timeout_s
+            if state.deadline is not None:
+                remaining = state.deadline - time.monotonic()
+                if remaining <= 0:
+                    return self._degraded(
+                        state, graph, algorithm, systems, DEGRADED_DEADLINE, attempts - 1
+                    )
+                timeout = min(timeout, remaining)
+            pool, generation = await self._ensure_pool()
+            loop = asyncio.get_running_loop()
+            try:
+                payload = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        pool,
+                        _service_cell_worker,
+                        graph,
+                        algorithm,
+                        systems,
+                        request.scale_shift,
+                        request.max_iterations,
+                        request.fidelity,
+                        request.fault_seed,
+                        str(self.cache_dir),
+                        request.chaos,
+                        str(self.chaos_dir),
+                        state.request_id,
+                    ),
+                    timeout=timeout,
+                )
+            except BrokenProcessPool:
+                await self._rebuild_pool(generation)
+                self.breakers.record_failure(family, time.monotonic())
+                await self._backoff(attempts)
+                continue
+            except (asyncio.TimeoutError, TimeoutError):
+                # The worker may be hung: tearing the pool down is the
+                # only way to reclaim it.
+                await self._rebuild_pool(generation)
+                self.breakers.record_failure(family, time.monotonic())
+                await self._backoff(attempts)
+                continue
+            except ReproError:
+                self.breakers.record_failure(family, time.monotonic())
+                await self._backoff(attempts)
+                continue
+            self.breakers.record_success(family)
+            return [
+                cell_record(
+                    state.request_id,
+                    graph,
+                    algorithm,
+                    system,
+                    dict(summary, cached=cached),
+                    attempts=attempts,
+                )
+                for system, summary, cached in payload
+            ]
+        return self._degraded(
+            state, graph, algorithm, systems, DEGRADED_RETRIES_EXHAUSTED, attempts
+        )
+
+    def _degraded(
+        self,
+        state: _RequestState,
+        graph: str,
+        algorithm: str,
+        systems: Tuple[str, ...],
+        reason: str,
+        attempts: int,
+    ) -> List[Dict[str, Any]]:
+        """Answer a cell with the in-process analytic model.
+
+        The degraded path must not re-enter the failing machinery: it
+        runs without the pool, without chaos hooks, and without the
+        cycle simulator.  If even the analytic model fails, the cell
+        still gets exactly one record — an explicit error summary —
+        because a lost request is the one failure mode the service
+        promises away.
+        """
+        request = state.request
+        try:
+            computed = _analytic_cell(
+                graph,
+                algorithm,
+                systems,
+                request.scale_shift,
+                request.max_iterations,
+                str(self.cache_dir),
+            )
+            summaries = {system: summary for system, summary, _ in computed}
+        except ReproError as exc:
+            summaries = {
+                system: {"error": f"{type(exc).__name__}: {exc}"}
+                for system in systems
+            }
+        return [
+            cell_record(
+                state.request_id,
+                graph,
+                algorithm,
+                system,
+                summaries.get(system, {"error": "analytic fallback missing"}),
+                degraded=True,
+                degraded_reason=reason,
+                attempts=attempts,
+            )
+            for system in systems
+        ]
+
+    # ------------------------------------------------------------------
+    # Pool management + backoff
+    # ------------------------------------------------------------------
+    async def _ensure_pool(self) -> Tuple[ProcessPoolExecutor, int]:
+        async with self._pool_lock:
+            if self._pool is None:
+                # Spawn, not fork: a forked worker inherits the asyncio
+                # signal machinery (the wakeup-fd self-pipe is shared
+                # across fork), so a SIGTERM aimed at a worker during
+                # pool teardown would fire the *daemon's* SIGTERM
+                # handler and drain the whole service.  Spawned workers
+                # share no loop state with the daemon.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.policy.workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            return self._pool, self._pool_generation
+
+    async def _rebuild_pool(self, generation: int) -> None:
+        """Tear down and forget the pool, once per failure generation.
+
+        Concurrent cells hitting the same broken pool all call in; the
+        generation check makes the teardown idempotent so the second
+        caller does not destroy the freshly built replacement.
+        """
+        async with self._pool_lock:
+            if generation != self._pool_generation:
+                return
+            if self._pool is not None:
+                _terminate_pool(self._pool)
+                self._pool = None
+            self._pool_generation += 1
+
+    async def _backoff(self, attempt: int) -> None:
+        """Jittered exponential backoff between one cell's attempts."""
+        base = min(
+            self.policy.backoff_base_s * (2.0 ** (attempt - 1)),
+            self.policy.backoff_cap_s,
+        )
+        jitter = float(self._rng.uniform(0.0, base))
+        await asyncio.sleep(base + jitter)

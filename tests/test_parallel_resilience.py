@@ -12,6 +12,7 @@ import multiprocessing
 import os
 import signal
 import time
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
 import pytest
@@ -164,6 +165,37 @@ class TestCrashIsolation:
         )
         assert _flag("crash-armed").read_text() == "fired"
         assert_matches_serial(matrix, serial_matrix)
+
+    def test_crash_error_carries_original_cause(
+        self, resilience_dir, monkeypatch
+    ):
+        """The give-up error names *why* each cell failed (satellite:
+        original exception context survives the pool rebuild)."""
+        monkeypatch.setattr(parallel_mod, "_cell_worker", crash_always_worker)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            run_matrix_parallel(
+                GRAPHS,
+                ALGORITHMS,
+                SYSTEMS,
+                max_workers=2,
+                policy=RetryPolicy(
+                    max_retries=0,
+                    backoff=0.01,
+                    poll_interval=0.02,
+                    serial_fallback=False,
+                ),
+                **KW,
+            )
+        err = excinfo.value
+        poison_cells = [
+            cell for cell in err.cells if (cell[0], cell[1]) == POISON
+        ]
+        assert poison_cells  # the poison cell is among the casualties
+        cause = err.causes.get(poison_cells[0])
+        assert isinstance(cause, BrokenProcessPool)
+        # The first captured cause is chained, so the traceback shows
+        # the pool breakage, not just the retry give-up.
+        assert isinstance(err.__cause__, BrokenProcessPool)
 
     def test_timeout_tears_down_and_retries(
         self, resilience_dir, monkeypatch, serial_matrix
@@ -329,6 +361,34 @@ class TestCheckpointResume:
         assert (
             SweepCheckpoint(ckpt_path, signature={"axes": "b"}).load() == {}
         )
+
+    def test_checkpoint_truncated_at_every_byte_offset(self, tmp_path):
+        """Chop the journal after every byte of the last record: resume
+        must never lose a fully-journaled cell, never raise, and never
+        resurrect a phantom (satellite: torn-tail exhaustive sweep)."""
+        ckpt_path = tmp_path / "sweep.ckpt"
+        ckpt = SweepCheckpoint(ckpt_path, signature={"axes": "a"})
+        ckpt.start()
+        reports = run_matrix(GRAPHS, ["bfs", "pagerank"], SYSTEMS, **KW)
+        first = ("PK", "bfs", SYSTEMS[0])
+        second = ("PK", "pagerank", SYSTEMS[0])
+        ckpt.append(first, reports.reports[first])
+        ckpt._flush()
+        first_end = ckpt_path.stat().st_size
+        ckpt.append(second, reports.reports[second])
+        ckpt.close()
+        raw = ckpt_path.read_bytes()
+        for cut in range(first_end, len(raw) + 1):
+            ckpt_path.write_bytes(raw[:cut])
+            loaded = SweepCheckpoint(
+                ckpt_path, signature={"axes": "a"}
+            ).load()
+            assert first in loaded  # a journaled cell is never lost
+            assert set(loaded) <= {first, second}
+            # Only a byte-complete record is resumable; nothing short
+            # of the full line may round-trip as the in-flight cell.
+            if second in loaded:
+                assert cut >= len(raw) - 1  # at worst the newline is torn
 
     def test_checkpoint_tolerates_torn_tail(self, tmp_path):
         ckpt_path = tmp_path / "sweep.ckpt"

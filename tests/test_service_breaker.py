@@ -1,0 +1,109 @@
+"""Circuit breaker bank: trip, cooldown probe, reopen, close."""
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.service.breaker import BreakerPolicy, CircuitBreakerBank
+
+
+def make_bank(threshold=3, cooldown=10.0):
+    return CircuitBreakerBank(
+        BreakerPolicy(failure_threshold=threshold, cooldown_s=cooldown)
+    )
+
+
+class TestTrip:
+    def test_closed_admits(self):
+        bank = make_bank()
+        assert bank.admit("bfs:analytic", now=0.0)
+        assert bank.state("bfs:analytic") == "closed"
+
+    def test_trips_at_threshold(self):
+        bank = make_bank(threshold=3)
+        for _ in range(2):
+            assert not bank.record_failure("bfs:analytic", now=0.0)
+        assert bank.record_failure("bfs:analytic", now=0.0)
+        assert bank.state("bfs:analytic") == "open"
+        with pytest.raises(CircuitOpenError):
+            bank.admit("bfs:analytic", now=1.0)
+
+    def test_success_resets_failure_count(self):
+        bank = make_bank(threshold=2)
+        bank.record_failure("bfs:analytic", now=0.0)
+        bank.record_success("bfs:analytic")
+        bank.record_failure("bfs:analytic", now=0.0)
+        assert bank.state("bfs:analytic") == "closed"
+
+    def test_families_are_independent(self):
+        bank = make_bank(threshold=1)
+        bank.record_failure("cc:analytic", now=0.0)
+        assert bank.state("cc:analytic") == "open"
+        assert bank.admit("bfs:analytic", now=0.0)
+
+
+class TestCooldownProbe:
+    def test_half_open_after_cooldown(self):
+        bank = make_bank(threshold=1, cooldown=10.0)
+        bank.record_failure("bfs:analytic", now=0.0)
+        with pytest.raises(CircuitOpenError):
+            bank.admit("bfs:analytic", now=9.9)
+        assert bank.admit("bfs:analytic", now=10.1)  # the probe
+        assert bank.state("bfs:analytic") == "half-open"
+
+    def test_single_probe_at_a_time(self):
+        bank = make_bank(threshold=1, cooldown=10.0)
+        bank.record_failure("bfs:analytic", now=0.0)
+        assert bank.admit("bfs:analytic", now=10.1)
+        with pytest.raises(CircuitOpenError):
+            bank.admit("bfs:analytic", now=10.2)  # second concurrent probe
+
+    def test_probe_failure_reopens(self):
+        bank = make_bank(threshold=1, cooldown=10.0)
+        bank.record_failure("bfs:analytic", now=0.0)
+        bank.admit("bfs:analytic", now=10.1)
+        bank.record_failure("bfs:analytic", now=10.2)
+        assert bank.state("bfs:analytic") == "open"
+        # The cooldown clock restarted at the probe failure.
+        with pytest.raises(CircuitOpenError):
+            bank.admit("bfs:analytic", now=15.0)
+        assert bank.admit("bfs:analytic", now=20.3)
+
+    def test_probe_success_closes(self):
+        bank = make_bank(threshold=1, cooldown=10.0)
+        bank.record_failure("bfs:analytic", now=0.0)
+        bank.admit("bfs:analytic", now=10.1)
+        bank.record_success("bfs:analytic")
+        assert bank.state("bfs:analytic") == "closed"
+        assert bank.admit("bfs:analytic", now=10.2)
+
+
+class TestIntrospection:
+    def test_open_families(self):
+        bank = make_bank(threshold=1)
+        bank.record_failure("cc:analytic", now=0.0)
+        bank.record_success("bfs:analytic")
+        assert bank.open_families() == {"cc:analytic": "open"}
+
+    def test_snapshot_counts_trips(self):
+        bank = make_bank(threshold=1, cooldown=10.0)
+        bank.record_failure("cc:analytic", now=0.0)
+        bank.admit("cc:analytic", now=10.1)
+        bank.record_failure("cc:analytic", now=10.2)  # reopen: 2nd trip
+        snapshot = bank.snapshot()
+        assert snapshot["families"]["cc:analytic"]["trips"] == 2
+        assert snapshot["families"]["cc:analytic"]["state"] == "open"
+
+    def test_family_table_cap(self):
+        bank = CircuitBreakerBank(
+            BreakerPolicy(failure_threshold=1, max_families=2)
+        )
+        bank.record_failure("a:analytic", now=0.0)
+        bank.record_failure("b:analytic", now=0.0)
+        with pytest.raises(ValueError):
+            bank.record_failure("c:analytic", now=0.0)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreakerBank(BreakerPolicy(failure_threshold=0))
+        with pytest.raises(ValueError):
+            CircuitBreakerBank(BreakerPolicy(cooldown_s=-1.0))

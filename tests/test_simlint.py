@@ -55,6 +55,13 @@ RULE_FIXTURES = {
         "    done, _ = wait(futures)\n"
         "    return [f.result() for f in done]\n"
     ),
+    "SIM502": (
+        "import time\n"
+        "\n"
+        "\n"
+        "async def tick():\n"
+        "    time.sleep(1.0)\n"
+    ),
 }
 
 CLEAN_SOURCE = (

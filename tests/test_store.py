@@ -1,9 +1,11 @@
 """Experiment persistence tests."""
 
 import json
+import multiprocessing
 
 import pytest
 
+from repro.core.stats import SimulationReport
 from repro.errors import ReproError
 from repro.experiments import (
     CODE_MODEL_VERSION,
@@ -170,3 +172,53 @@ class TestResultCache:
         cache.put(*self.CELL, report, scale_shift=-4)
         assert cache.clear() == 1
         assert len(cache) == 0
+
+
+def _put_hammer(root, report_payload, count):
+    """Child-process body for the concurrent put test."""
+    cache = ResultCache(root)
+    report = SimulationReport.from_dict(report_payload)
+    for _ in range(count):
+        cache.put("PK", "bfs", "ScalaGraph-512", report, scale_shift=-4)
+
+
+class TestConcurrentPut:
+    """Two processes hammering the same key never corrupt the entry.
+
+    Regression test for the shared ``<key>.tmp`` staging file: with a
+    per-key temp name, two writers interleave partial content and the
+    rename publishes a torn payload.  The mkstemp-per-writer scheme
+    must keep every concurrently-observed read a complete document.
+    """
+
+    def test_two_process_same_key_hammer(self, matrix, tmp_path):
+        report = matrix.reports[("PK", "bfs", "ScalaGraph-512")]
+        root = tmp_path / "c"
+        payload = report.to_dict(include_iterations=True)
+        writers = [
+            multiprocessing.Process(
+                target=_put_hammer, args=(root, payload, 50)
+            )
+            for _ in range(2)
+        ]
+        for proc in writers:
+            proc.start()
+        reader = ResultCache(root)
+        try:
+            # Read concurrently with the writers: every observed entry
+            # must be a complete payload (miss until the first publish,
+            # hit after — never invalid).
+            while any(proc.is_alive() for proc in writers):
+                reader.get("PK", "bfs", "ScalaGraph-512", scale_shift=-4)
+        finally:
+            for proc in writers:
+                proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in writers)
+        assert reader.stats.invalid == 0
+        final = reader.get("PK", "bfs", "ScalaGraph-512", scale_shift=-4)
+        assert final is not None
+        assert json.dumps(
+            final.to_dict(include_iterations=True)
+        ) == json.dumps(payload)
+        # No staging litter: every mkstemp file was renamed or removed.
+        assert list(root.glob(".put-*.tmp")) == []
